@@ -1,0 +1,88 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op's adjoint rule is verified against a central-difference
+//! approximation. The checker is public so downstream crates can validate
+//! their composite losses (the condensation objectives do exactly that).
+
+use crate::{Tape, Var};
+use mcond_linalg::DMat;
+
+/// Result of a gradient check: the worst relative error observed.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckReport {
+    /// Maximum relative error across all checked entries.
+    pub max_rel_err: f32,
+    /// Number of entries compared.
+    pub entries: usize,
+}
+
+/// Compares the analytic gradient of `build`'s scalar output w.r.t. a
+/// parameter against central finite differences.
+///
+/// `build` receives a fresh tape and the current parameter value, records a
+/// graph, and returns `(param_var, loss_var)`. The parameter is perturbed
+/// entry-by-entry with step `h`, so keep it small (≤ a few hundred entries).
+///
+/// # Panics
+/// Panics when `build` returns a non-scalar loss.
+#[must_use]
+pub fn check_gradient(
+    param0: &DMat,
+    h: f32,
+    build: impl Fn(&mut Tape, DMat) -> (Var, Var),
+) -> CheckReport {
+    // Analytic gradient.
+    let mut tape = Tape::new();
+    let (p, loss) = build(&mut tape, param0.clone());
+    let grads = tape.backward(loss);
+    let analytic = grads
+        .get(p)
+        .cloned()
+        .unwrap_or_else(|| DMat::zeros(param0.rows(), param0.cols()));
+
+    let eval = |param: DMat| -> f32 {
+        let mut t = Tape::new();
+        let (_, l) = build(&mut t, param);
+        t.scalar(l)
+    };
+
+    let mut max_rel = 0.0f32;
+    for i in 0..param0.rows() {
+        for j in 0..param0.cols() {
+            let mut plus = param0.clone();
+            plus.set(i, j, plus.get(i, j) + h);
+            let mut minus = param0.clone();
+            minus.set(i, j, minus.get(i, j) - h);
+            let numeric = (eval(plus) - eval(minus)) / (2.0 * h);
+            let a = analytic.get(i, j);
+            // f32 central differences carry ~1e-4 absolute noise; the 1e-2
+            // denominator floor keeps that noise from dominating entries
+            // whose true gradient is tiny.
+            let denom = a.abs().max(numeric.abs()).max(1e-2);
+            let rel = (a - numeric).abs() / denom;
+            if rel > max_rel {
+                max_rel = rel;
+            }
+        }
+    }
+    CheckReport { max_rel_err: max_rel, entries: param0.len() }
+}
+
+/// Asserts the analytic gradient matches finite differences within `tol`.
+///
+/// # Panics
+/// Panics (with the worst relative error) when the check fails.
+pub fn assert_gradients_match(
+    param0: &DMat,
+    h: f32,
+    tol: f32,
+    build: impl Fn(&mut Tape, DMat) -> (Var, Var),
+) {
+    let report = check_gradient(param0, h, build);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradient check failed: max relative error {} > {tol} over {} entries",
+        report.max_rel_err,
+        report.entries
+    );
+}

@@ -1,0 +1,44 @@
+//! Reverse-mode automatic differentiation over [`mcond_linalg::DMat`].
+//!
+//! The Rust GNN-autodiff ecosystem is thin, so this crate implements the
+//! differentiation engine the MCond reproduction needs: a define-by-run
+//! [`Tape`] whose nodes hold forward values, and a single reverse sweep that
+//! accumulates gradients for every recorded operation.
+//!
+//! The op set is exactly what the paper's objectives require:
+//!
+//! * dense/sparse products and element-wise algebra (GNN layers, Eq. 1),
+//! * a **differentiable symmetric GCN normalisation** (training through the
+//!   learned synthetic adjacency `A'`),
+//! * the **pairwise-MLP adjacency generator** plumbing (Eq. 6:
+//!   [`Tape::pair_concat`], [`Tape::pair_mean_sym`]),
+//! * row-sum normalisation for the mapping matrix (Eq. 15),
+//! * loss heads: softmax cross-entropy, the *softmax error* term used by
+//!   gradient matching (Eq. 4), column-wise cosine distance (Eq. 5),
+//!   link-reconstruction BCE over sampled pairs (Eq. 8), and the L2,1 norm
+//!   (Eq. 10/12).
+//!
+//! # Example
+//! ```
+//! use mcond_autodiff::Tape;
+//! use mcond_linalg::DMat;
+//! let mut tape = Tape::new();
+//! let x = tape.param(DMat::from_rows(&[&[1.0, 2.0]]));
+//! let w = tape.param(DMat::from_rows(&[&[3.0], &[4.0]]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.l21(y); // ||xW||_{2,1} = |1*3 + 2*4| = 11
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(w).unwrap().as_slice(), &[1.0, 2.0]);
+//! ```
+
+mod adam;
+mod backward;
+pub mod check;
+mod ops_basic;
+mod ops_graph;
+mod ops_loss;
+mod tape;
+
+pub use adam::Adam;
+pub use backward::Gradients;
+pub use tape::{Tape, Var};

@@ -1,0 +1,142 @@
+//! Dense algebra and activation ops.
+
+use crate::tape::{Op, Tape, Var};
+use mcond_linalg::DMat;
+use std::rc::Rc;
+
+impl Tape {
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, Op::MatMul(a.0, b.0), rg, None)
+    }
+
+    /// `a + b` (element-wise, equal shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, Op::Add(a.0, b.0), rg, None)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, Op::Sub(a.0, b.0), rg, None)
+    }
+
+    /// `a ⊙ b` (Hadamard).
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, Op::Hadamard(a.0, b.0), rg, None)
+    }
+
+    /// `c · a` for a compile-time constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).scale(c);
+        let rg = self.rg(a.0);
+        self.push(value, Op::ScaleConst(a.0, c), rg, None)
+    }
+
+    /// `a + c` element-wise for a constant `c`.
+    pub fn add_const(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|v| v + c);
+        let rg = self.rg(a.0);
+        self.push(value, Op::AddConst(a.0, c), rg, None)
+    }
+
+    /// `max(a, 0)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).relu();
+        let rg = self.rg(a.0);
+        self.push(value, Op::Relu(a.0), rg, None)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).sigmoid();
+        let rg = self.rg(a.0);
+        self.push(value, Op::Sigmoid(a.0), rg, None)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        let rg = self.rg(a.0);
+        self.push(value, Op::Tanh(a.0), rg, None)
+    }
+
+    /// `aᵀ`.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        let rg = self.rg(a.0);
+        self.push(value, Op::Transpose(a.0), rg, None)
+    }
+
+    /// `[a; b]` — vertical concatenation.
+    pub fn vstack(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).vstack(self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, Op::VStack(a.0, b.0), rg, None)
+    }
+
+    /// `[a, b]` — horizontal concatenation.
+    pub fn hstack(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hstack(self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, Op::HStack(a.0, b.0), rg, None)
+    }
+
+    /// Rows `lo..hi` of `a`.
+    pub fn slice_rows(&mut self, a: Var, lo: usize, hi: usize) -> Var {
+        let value = self.value(a).slice_rows(lo, hi);
+        let rg = self.rg(a.0);
+        self.push(value, Op::SliceRows(a.0, lo, hi), rg, None)
+    }
+
+    /// Row gather of `a` by `indices` (duplicates allowed).
+    pub fn select_rows(&mut self, a: Var, indices: Rc<Vec<usize>>) -> Var {
+        let value = self.value(a).select_rows(&indices);
+        let rg = self.rg(a.0);
+        self.push(value, Op::SelectRows(a.0, indices), rg, None)
+    }
+
+    /// Adds a `1 x d` bias row (`bias`) to every row of `a`.
+    ///
+    /// # Panics
+    /// Panics when `bias` is not `1 x a.cols()`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let b = self.value(bias);
+        assert_eq!(b.rows(), 1, "add_row_broadcast: bias must be a single row");
+        let value = self.value(a).add_row_broadcast(b.row(0));
+        let rg = self.rg(a.0) || self.rg(bias.0);
+        self.push(value, Op::AddRowBroadcast(a.0, bias.0), rg, None)
+    }
+
+    /// Row-sum normalisation `Y_ij = X_ij / Σ_k X_ik` (zero rows preserved) —
+    /// the normalisation core of Eq. (15).
+    pub fn div_row_sum(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let sums = DMat::from_vec(x.rows(), 1, x.row_sums());
+        let mut value = x.clone();
+        for i in 0..value.rows() {
+            let s = sums.get(i, 0);
+            if s != 0.0 {
+                for v in value.row_mut(i) {
+                    *v /= s;
+                }
+            }
+        }
+        let rg = self.rg(a.0);
+        self.push(value, Op::DivRowSum(a.0), rg, Some(sums))
+    }
+
+    /// Scalar mean of all entries.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = DMat::from_vec(1, 1, vec![self.value(a).mean()]);
+        let rg = self.rg(a.0);
+        self.push(value, Op::MeanAll(a.0), rg, None)
+    }
+}

@@ -1,0 +1,112 @@
+//! Graph-specific differentiable ops: sparse products, the differentiable
+//! GCN normalisation, and the pairwise plumbing of the Eq. (6) adjacency
+//! generator.
+
+use crate::tape::{Op, Tape, Var};
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+use std::rc::Rc;
+
+impl Tape {
+    /// `S · b` where `S` is a constant sparse matrix — the message-passing
+    /// primitive. Gradient flows into `b` only.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(&mut self, s: Rc<Csr>, b: Var) -> Var {
+        let value = s.spmm(self.value(b));
+        let rg = self.rg(b.0);
+        self.push(value, Op::SpMM(s, b.0), rg, None)
+    }
+
+    /// Differentiable symmetric GCN normalisation of a dense square input:
+    /// `Y = D̃^{-1/2}(A + I)D̃^{-1/2}` with `D̃ = diag(rowsum(A + I))`.
+    ///
+    /// Used to train through the learned synthetic adjacency `A'` and, in
+    /// the inductive loss, through blocks containing `aM`.
+    ///
+    /// # Panics
+    /// Panics when the input is not square.
+    pub fn sym_normalize(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        assert_eq!(x.rows(), x.cols(), "sym_normalize: input must be square");
+        let n = x.rows();
+        let mut tilde = x.clone();
+        for i in 0..n {
+            let v = tilde.get(i, i) + 1.0;
+            tilde.set(i, i, v);
+        }
+        let deg = tilde.row_sums();
+        let r: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let mut value = tilde;
+        for i in 0..n {
+            let ri = r[i];
+            for (j, v) in value.row_mut(i).iter_mut().enumerate() {
+                *v *= ri * r[j];
+            }
+        }
+        // Cache r (as an n x 1 matrix) for the backward pass.
+        let cache = DMat::from_vec(n, 1, r);
+        let rg = self.rg(a.0);
+        self.push(value, Op::SymNormalize(a.0), rg, Some(cache))
+    }
+
+    /// Builds the `n² x 2d` pair-concat matrix whose row `i·n + j` is
+    /// `[x_i, x_j]` — input of MLP_Φ in Eq. (6).
+    ///
+    /// Quadratic in `n`; intended for the small synthetic node set
+    /// (`n = N' ≪ N`).
+    pub fn pair_concat(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        let mut value = DMat::zeros(n * n, 2 * d);
+        for i in 0..n {
+            for j in 0..n {
+                let row = value.row_mut(i * n + j);
+                row[..d].copy_from_slice(x.row(i));
+                row[d..].copy_from_slice(x.row(j));
+            }
+        }
+        let rg = self.rg(a.0);
+        self.push(value, Op::PairConcat(a.0), rg, None)
+    }
+
+    /// Reshapes an `n² x 1` pair score vector into the symmetric `n x n`
+    /// matrix `(Z_{i·n+j} + Z_{j·n+i}) / 2` — the symmetrisation of Eq. (6)
+    /// (apply [`Tape::sigmoid`] on the result to finish the equation).
+    ///
+    /// # Panics
+    /// Panics when the input is not a perfect-square-length column vector.
+    pub fn pair_mean_sym(&mut self, z: Var) -> Var {
+        let v = self.value(z);
+        assert_eq!(v.cols(), 1, "pair_mean_sym: expected a column vector");
+        let n2 = v.rows();
+        let n = (n2 as f64).sqrt().round() as usize;
+        assert_eq!(n * n, n2, "pair_mean_sym: length {n2} is not a perfect square");
+        let mut value = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let s = 0.5 * (v.get(i * n + j, 0) + v.get(j * n + i, 0));
+                value.set(i, j, s);
+            }
+        }
+        let rg = self.rg(z.0);
+        self.push(value, Op::PairMeanSym(z.0), rg, None)
+    }
+
+    /// Zeroes the diagonal of a square matrix (no learned self-loops in `A'`
+    /// — the self-loop is added back by the normalisation).
+    ///
+    /// Implemented as a Hadamard with a constant mask so no new op kind is
+    /// needed.
+    pub fn zero_diagonal(&mut self, a: Var) -> Var {
+        let n = self.value(a).rows();
+        let mut mask = DMat::filled(n, n, 1.0);
+        for i in 0..n {
+            mask.set(i, i, 0.0);
+        }
+        let m = self.constant(mask);
+        self.hadamard(a, m)
+    }
+}

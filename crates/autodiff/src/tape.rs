@@ -1,0 +1,172 @@
+//! The tape: node storage, op records, and construction primitives.
+
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+use std::rc::Rc;
+
+/// Handle to a node on a [`Tape`].
+///
+/// `Var`s are cheap copyable indices; they are only meaningful with the tape
+/// that created them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Operation record for one tape node.
+///
+/// Each variant stores the *input* node ids plus whatever constant payload
+/// the backward pass needs. Heavyweight constants (sparse matrices, index
+/// lists, pair samples) are reference-counted so cloning a tape op is cheap.
+#[derive(Clone)]
+pub(crate) enum Op {
+    /// Input: parameter (receives gradient) or constant (does not).
+    Leaf,
+    /// `A · B`.
+    MatMul(usize, usize),
+    /// `S · B` with a constant sparse left factor.
+    SpMM(Rc<Csr>, usize),
+    /// `A + B`.
+    Add(usize, usize),
+    /// `A - B`.
+    Sub(usize, usize),
+    /// `A ⊙ B`.
+    Hadamard(usize, usize),
+    /// `c · A`.
+    ScaleConst(usize, f32),
+    /// `A + c` (element-wise; the constant is not needed by the
+    /// backward rule, so only recorded for debugging).
+    AddConst(usize, #[allow(dead_code)] f32),
+    /// `max(A, 0)`.
+    Relu(usize),
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// `Aᵀ`.
+    Transpose(usize),
+    /// `[A; B]` (rows of A on top).
+    VStack(usize, usize),
+    /// `[A, B]` (columns of A on the left).
+    HStack(usize, usize),
+    /// Rows `lo..hi` of `A`.
+    SliceRows(usize, usize, usize),
+    /// Row gather by index list (duplicates allowed).
+    SelectRows(usize, Rc<Vec<usize>>),
+    /// `A + 1·bias`: adds a `1 x d` bias row to every row of `A`.
+    AddRowBroadcast(usize, usize),
+    /// `Y_ij = X_ij / Σ_k X_ik` (zero rows preserved).
+    DivRowSum(usize),
+    /// Differentiable `D̃^{-1/2}(A + I)D̃^{-1/2}` on a dense square input.
+    SymNormalize(usize),
+    /// For `X : n x d`, builds the `n² x 2d` matrix whose row `i·n + j` is
+    /// `[x_i, x_j]` — the MLP_Φ input of Eq. (6).
+    PairConcat(usize),
+    /// For `Z : n² x 1`, builds the `n x n` matrix `(Z_{i·n+j} + Z_{j·n+i})/2`
+    /// — the symmetrisation of Eq. (6).
+    PairMeanSym(usize),
+    /// Scalar softmax cross-entropy of logits vs integer labels (mean over
+    /// rows).
+    SoftmaxCrossEntropy(usize, Rc<Vec<usize>>),
+    /// `(softmax(X) - onehot(labels)) / N` — the *gradient error* matrix `E`
+    /// such that the analytic SGC weight gradient is `ZᵀE` (Eq. 4 inner
+    /// term).
+    SoftmaxError(usize, Rc<Vec<usize>>),
+    /// Scalar L2,1 norm: `Σ_i ‖X_i‖₂` (Eq. 10 / Eq. 12).
+    L21(usize),
+    /// Scalar Frobenius norm `‖X‖_F` — the L2 gradient-distance ablation.
+    Frobenius(usize),
+    /// Scalar `Σ_j (1 - cos(A_:j, B_:j))` over columns (Eq. 5).
+    CosineColDist(usize, usize),
+    /// Scalar binary cross-entropy over sampled node pairs `(i, j, target)`
+    /// with logits `H_i · H_j` (Eq. 8 with negative samples).
+    PairBce(usize, Rc<Vec<(u32, u32, f32)>>),
+    /// Scalar mean of all entries.
+    MeanAll(usize),
+}
+
+pub(crate) struct Node {
+    pub value: DMat,
+    pub op: Op,
+    /// Whether any gradient can flow into this node (a parameter, or an op
+    /// with at least one grad-requiring input).
+    pub requires_grad: bool,
+    /// Op-specific forward by-product reused by backward (e.g. softmax).
+    pub cache: Option<DMat>,
+}
+
+/// A define-by-run computation tape.
+///
+/// Record operations through the builder methods, then call
+/// [`Tape::backward`] on a scalar node. Training loops typically construct a
+/// fresh tape per step (or [`Tape::clear`] and reuse the allocation).
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Drops all nodes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of recorded nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a trainable leaf; its gradient is produced by
+    /// [`Tape::backward`].
+    pub fn param(&mut self, value: DMat) -> Var {
+        self.push(value, Op::Leaf, true, None)
+    }
+
+    /// Records a constant leaf; no gradient is accumulated for it.
+    pub fn constant(&mut self, value: DMat) -> Var {
+        self.push(value, Op::Leaf, false, None)
+    }
+
+    /// The forward value of `v`.
+    #[must_use]
+    pub fn value(&self, v: Var) -> &DMat {
+        &self.nodes[v.0].value
+    }
+
+    /// The forward value of a scalar (1×1) node.
+    ///
+    /// # Panics
+    /// Panics when `v` is not 1×1.
+    #[must_use]
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar: node is {}x{}", m.rows(), m.cols());
+        m.get(0, 0)
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        value: DMat,
+        op: Op,
+        requires_grad: bool,
+        cache: Option<DMat>,
+    ) -> Var {
+        self.nodes.push(Node { value, op, requires_grad, cache });
+        Var(self.nodes.len() - 1)
+    }
+
+    pub(crate) fn rg(&self, id: usize) -> bool {
+        self.nodes[id].requires_grad
+    }
+}

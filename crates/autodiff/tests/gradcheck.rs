@@ -1,0 +1,268 @@
+//! Finite-difference verification of every autodiff op.
+//!
+//! f32 central differences are noisy, so steps and tolerances are chosen
+//! per-op; the point is catching wrong adjoint formulas (which produce
+//! order-1 errors), not chasing ulps.
+
+use mcond_autodiff::check::assert_gradients_match;
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::Coo;
+use std::rc::Rc;
+
+fn small(rows: usize, cols: usize, seed: u64) -> DMat {
+    MatRng::seed_from(seed).uniform(rows, cols, -1.0, 1.0)
+}
+
+#[test]
+fn matmul_lhs_and_rhs() {
+    let b0 = small(3, 2, 1);
+    assert_gradients_match(&small(4, 3, 0), 1e-2, 2e-2, |t, p| {
+        let a = t.param(p);
+        let b = t.constant(b0.clone());
+        let y = t.matmul(a, b);
+        let l = t.l21(y);
+        (a, l)
+    });
+    let a0 = small(4, 3, 2);
+    assert_gradients_match(&small(3, 2, 3), 1e-2, 2e-2, |t, p| {
+        let a = t.constant(a0.clone());
+        let b = t.param(p);
+        let y = t.matmul(a, b);
+        let l = t.l21(y);
+        (b, l)
+    });
+}
+
+#[test]
+fn spmm_rhs() {
+    let mut coo = Coo::new(4, 3);
+    coo.push(0, 1, 2.0);
+    coo.push(1, 0, -1.0);
+    coo.push(3, 2, 0.5);
+    coo.push(2, 1, 1.5);
+    let s = Rc::new(coo.to_csr());
+    assert_gradients_match(&small(3, 2, 4), 1e-2, 2e-2, |t, p| {
+        let b = t.param(p);
+        let y = t.spmm(Rc::clone(&s), b);
+        let l = t.l21(y);
+        (b, l)
+    });
+}
+
+#[test]
+fn elementwise_ops() {
+    let other = small(3, 3, 5);
+    assert_gradients_match(&small(3, 3, 6), 1e-2, 2e-2, |t, p| {
+        let a = t.param(p);
+        let b = t.constant(other.clone());
+        let s1 = t.add(a, b);
+        let s2 = t.sub(s1, b);
+        let s3 = t.hadamard(s2, b);
+        let s4 = t.scale(s3, 1.7);
+        let s5 = t.add_const(s4, 0.3);
+        let l = t.l21(s5);
+        (a, l)
+    });
+}
+
+#[test]
+fn activations() {
+    // Shift away from 0 so ReLU's kink doesn't break finite differences.
+    let base = small(3, 3, 7).map(|v| v + if v >= 0.0 { 0.3 } else { -0.3 });
+    assert_gradients_match(&base, 1e-3, 3e-2, |t, p| {
+        let a = t.param(p);
+        let r = t.relu(a);
+        let s = t.sigmoid(r);
+        let h = t.tanh(s);
+        let l = t.l21(h);
+        (a, l)
+    });
+}
+
+#[test]
+fn structural_ops() {
+    let other = small(2, 4, 8);
+    assert_gradients_match(&small(3, 4, 9), 1e-2, 2e-2, |t, p| {
+        let a = t.param(p);
+        let b = t.constant(other.clone());
+        let v = t.vstack(a, b); // 5 x 4
+        let tr = t.transpose(v); // 4 x 5
+        let h = t.hstack(tr, tr); // 4 x 10
+        let s = t.slice_rows(h, 1, 4); // 3 x 10
+        let sel = t.select_rows(s, Rc::new(vec![0, 2, 2, 1]));
+        let l = t.l21(sel);
+        (a, l)
+    });
+}
+
+#[test]
+fn add_row_broadcast_bias() {
+    let x0 = small(4, 3, 10);
+    assert_gradients_match(&small(1, 3, 11), 1e-2, 2e-2, |t, p| {
+        let x = t.constant(x0.clone());
+        let b = t.param(p);
+        let y = t.add_row_broadcast(x, b);
+        let l = t.l21(y);
+        (b, l)
+    });
+}
+
+#[test]
+fn div_row_sum() {
+    // Positive entries so no row sum crosses zero under perturbation.
+    let base = MatRng::seed_from(12).uniform(4, 3, 0.5, 2.0);
+    assert_gradients_match(&base, 1e-3, 3e-2, |t, p| {
+        let a = t.param(p);
+        let y = t.div_row_sum(a);
+        let l = t.l21(y);
+        (a, l)
+    });
+}
+
+#[test]
+fn sym_normalize() {
+    let base = MatRng::seed_from(13).uniform(4, 4, 0.1, 1.0);
+    assert_gradients_match(&base, 1e-3, 3e-2, |t, p| {
+        let a = t.param(p);
+        let y = t.sym_normalize(a);
+        let l = t.l21(y);
+        (a, l)
+    });
+}
+
+#[test]
+fn pair_concat_and_mean_sym() {
+    let w0 = small(6, 1, 14);
+    assert_gradients_match(&small(4, 3, 15), 1e-2, 3e-2, |t, p| {
+        let x = t.param(p);
+        let pc = t.pair_concat(x); // 16 x 6
+        let w = t.constant(w0.clone());
+        let z = t.matmul(pc, w); // 16 x 1
+        let sym = t.pair_mean_sym(z); // 4 x 4
+        let sig = t.sigmoid(sym);
+        let l = t.l21(sig);
+        (x, l)
+    });
+}
+
+#[test]
+fn softmax_cross_entropy_grad() {
+    let labels = Rc::new(vec![0usize, 2, 1, 2]);
+    assert_gradients_match(&small(4, 3, 16), 1e-2, 2e-2, |t, p| {
+        let logits = t.param(p);
+        let l = t.softmax_cross_entropy(logits, Rc::clone(&labels));
+        (logits, l)
+    });
+}
+
+#[test]
+fn softmax_error_second_order_path() {
+    // The gradient-matching path: loss = distance(const, ZᵀE(ZW)).
+    let labels = Rc::new(vec![1usize, 0, 1]);
+    let w0 = small(2, 2, 17);
+    let target = small(2, 2, 18);
+    assert_gradients_match(&small(3, 2, 19), 1e-2, 4e-2, |t, p| {
+        let z = t.param(p);
+        let w = t.constant(w0.clone());
+        let logits = t.matmul(z, w);
+        let e = t.softmax_error(logits, Rc::clone(&labels));
+        let zt = t.transpose(z);
+        let g = t.matmul(zt, e); // analytic SGC weight gradient
+        let tgt = t.constant(target.clone());
+        let diff = t.sub(g, tgt);
+        let l = t.l21(diff);
+        (z, l)
+    });
+}
+
+#[test]
+fn l21_away_from_zero_rows() {
+    let base = small(3, 4, 20).map(|v| v + 2.0);
+    assert_gradients_match(&base, 1e-3, 2e-2, |t, p| {
+        let a = t.param(p);
+        let l = t.l21(a);
+        (a, l)
+    });
+}
+
+#[test]
+fn frobenius_grad() {
+    let base = small(3, 4, 31).map(|v| v + 0.5);
+    assert_gradients_match(&base, 1e-3, 2e-2, |t, p| {
+        let a = t.param(p);
+        let l = t.frobenius(a);
+        (a, l)
+    });
+}
+
+#[test]
+fn cosine_col_dist_both_sides() {
+    let other = small(4, 3, 21);
+    assert_gradients_match(&small(4, 3, 22), 1e-3, 4e-2, |t, p| {
+        let a = t.param(p);
+        let b = t.constant(other.clone());
+        let l = t.cosine_col_dist(a, b);
+        (a, l)
+    });
+    let first = small(4, 3, 23);
+    assert_gradients_match(&small(4, 3, 24), 1e-3, 4e-2, |t, p| {
+        let a = t.constant(first.clone());
+        let b = t.param(p);
+        let l = t.cosine_col_dist(a, b);
+        (b, l)
+    });
+}
+
+#[test]
+fn pair_bce_grad() {
+    let pairs = Rc::new(vec![(0u32, 1u32, 1.0f32), (1, 2, 0.0), (0, 2, 1.0), (2, 2, 0.0)]);
+    assert_gradients_match(&small(3, 4, 25), 1e-2, 3e-2, |t, p| {
+        let h = t.param(p);
+        let l = t.pair_bce(h, Rc::clone(&pairs));
+        (h, l)
+    });
+}
+
+#[test]
+fn mean_all_grad() {
+    assert_gradients_match(&small(3, 3, 26), 1e-2, 2e-2, |t, p| {
+        let a = t.param(p);
+        let l = t.mean_all(a);
+        (a, l)
+    });
+}
+
+#[test]
+fn zero_diagonal_masks_gradient() {
+    assert_gradients_match(&small(4, 4, 27), 1e-2, 2e-2, |t, p| {
+        let a = t.param(p);
+        let z = t.zero_diagonal(a);
+        let l = t.l21(z);
+        (a, l)
+    });
+}
+
+#[test]
+fn composite_two_layer_gcn_like_network() {
+    // ReLU(Â X W1) W2 with cross-entropy: the full training path.
+    let mut coo = Coo::new(5, 5);
+    for &(i, j) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)] {
+        coo.push_sym(i, j, 1.0);
+    }
+    let adj = Rc::new(mcond_sparse::sym_normalize(&coo.to_csr()));
+    let x0 = small(5, 3, 28);
+    let w2 = small(4, 2, 29);
+    let labels = Rc::new(vec![0usize, 1, 0, 1, 0]);
+    assert_gradients_match(&small(3, 4, 30), 1e-2, 4e-2, |t, p| {
+        let x = t.constant(x0.clone());
+        let w1 = t.param(p);
+        let xw = t.matmul(x, w1);
+        let h1 = t.spmm(Rc::clone(&adj), xw);
+        let h1 = t.relu(h1);
+        let w2v = t.constant(w2.clone());
+        let h2 = t.matmul(h1, w2v);
+        let logits = t.spmm(Rc::clone(&adj), h2);
+        let l = t.softmax_cross_entropy(logits, Rc::clone(&labels));
+        (w1, l)
+    });
+}

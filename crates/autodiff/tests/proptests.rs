@@ -1,0 +1,132 @@
+//! Property tests of the autodiff engine: structural identities the tape
+//! must satisfy for arbitrary inputs.
+
+use mcond_autodiff::Tape;
+use mcond_linalg::{approx_eq, DMat};
+use proptest::prelude::*;
+
+fn arb_mat(max_dim: usize) -> impl Strategy<Value = DMat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| DMat::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    /// Backward of a linear map is input-independent: for l = Σ rows ‖·‖ of
+    /// (s·X), scaling the *loss* by c scales the gradient by c.
+    #[test]
+    fn gradient_scales_linearly_with_loss_scaling(m in arb_mat(8), c in 0.5f32..3.0) {
+        let grad_of = |scale: f32| {
+            let mut tape = Tape::new();
+            let x = tape.param(m.clone());
+            let l = tape.l21(x);
+            let scaled = tape.scale(l, scale);
+            let grads = tape.backward(scaled);
+            grads.get(x).cloned().unwrap_or_else(|| DMat::zeros(m.rows(), m.cols()))
+        };
+        let g1 = grad_of(1.0);
+        let gc = grad_of(c);
+        for (a, b) in g1.as_slice().iter().zip(gc.as_slice()) {
+            prop_assert!(approx_eq(*a * c, *b, 1e-3), "{} vs {}", a * c, b);
+        }
+    }
+
+    /// Sum rule: grad(l1 + l2) == grad(l1) + grad(l2).
+    #[test]
+    fn gradient_of_sum_is_sum_of_gradients(m in arb_mat(6)) {
+        let both = {
+            let mut tape = Tape::new();
+            let x = tape.param(m.clone());
+            let l1 = tape.l21(x);
+            let s = tape.sigmoid(x);
+            let l2 = tape.l21(s);
+            let l = tape.add(l1, l2);
+            let grads = tape.backward(l);
+            grads.get(x).cloned().unwrap()
+        };
+        let separate = {
+            let g = |which: usize| {
+                let mut tape = Tape::new();
+                let x = tape.param(m.clone());
+                let l = if which == 0 {
+                    tape.l21(x)
+                } else {
+                    let s = tape.sigmoid(x);
+                    tape.l21(s)
+                };
+                let grads = tape.backward(l);
+                grads.get(x).cloned().unwrap_or_else(|| DMat::zeros(m.rows(), m.cols()))
+            };
+            g(0).add(&g(1))
+        };
+        for (a, b) in both.as_slice().iter().zip(separate.as_slice()) {
+            prop_assert!(approx_eq(*a, *b, 1e-3), "{} vs {}", a, b);
+        }
+    }
+
+    /// Transpose symmetry: grad through a transpose equals transposed grad.
+    #[test]
+    fn transpose_pushes_gradient_through(m in arb_mat(7)) {
+        let direct = {
+            let mut tape = Tape::new();
+            let x = tape.param(m.clone());
+            let l = tape.l21(x);
+            tape.backward(l).get(x).cloned().unwrap()
+        };
+        let via_double_transpose = {
+            let mut tape = Tape::new();
+            let x = tape.param(m.clone());
+            let t = tape.transpose(x);
+            let tt = tape.transpose(t);
+            let l = tape.l21(tt);
+            tape.backward(l).get(x).cloned().unwrap()
+        };
+        for (a, b) in direct.as_slice().iter().zip(via_double_transpose.as_slice()) {
+            prop_assert!(approx_eq(*a, *b, 1e-4));
+        }
+    }
+
+    /// The forward value of composed ops matches eager dense evaluation.
+    #[test]
+    fn forward_values_match_eager_algebra(m in arb_mat(6)) {
+        let mut tape = Tape::new();
+        let x = tape.param(m.clone());
+        let r = tape.relu(x);
+        let s = tape.scale(r, 2.0);
+        let a = tape.add_const(s, -0.5);
+        let eager = m.relu().scale(2.0).map(|v| v - 0.5);
+        prop_assert_eq!(tape.value(a), &eager);
+    }
+
+    /// vstack/slice_rows round trip preserves gradients exactly.
+    #[test]
+    fn vstack_slice_round_trip(m in arb_mat(5)) {
+        let mut tape = Tape::new();
+        let x = tape.param(m.clone());
+        let doubled = tape.vstack(x, x);
+        let back = tape.slice_rows(doubled, 0, m.rows());
+        let l = tape.l21(back);
+        let g_roundtrip = tape.backward(l).get(x).cloned().unwrap();
+
+        let mut tape2 = Tape::new();
+        let x2 = tape2.param(m.clone());
+        let l2 = tape2.l21(x2);
+        let g_direct = tape2.backward(l2).get(x2).cloned().unwrap();
+        for (a, b) in g_roundtrip.as_slice().iter().zip(g_direct.as_slice()) {
+            prop_assert!(approx_eq(*a, *b, 1e-4));
+        }
+    }
+
+    /// Softmax cross-entropy is non-negative and ln(C) at uniform logits.
+    #[test]
+    fn cross_entropy_bounds(rows in 1usize..6, cols in 2usize..5) {
+        let mut tape = Tape::new();
+        let logits = tape.param(DMat::zeros(rows, cols));
+        let labels = std::rc::Rc::new((0..rows).map(|i| i % cols).collect::<Vec<_>>());
+        let l = tape.softmax_cross_entropy(logits, labels);
+        let v = tape.scalar(l);
+        prop_assert!(v >= 0.0);
+        prop_assert!(approx_eq(v, (cols as f32).ln(), 1e-4));
+    }
+}

@@ -1,0 +1,111 @@
+//! The Fig. 3 / Fig. 4 kernel as a Criterion bench: end-to-end inductive
+//! inference of one test batch on the original graph (Eq. 3) versus the
+//! condensed graph through the mapping (Eq. 11), plus the Table III
+//! propagation kernels on both targets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcond_bench::pipeline::{build_pipeline, Pipeline};
+use mcond_core::{InductiveServer, InferenceTarget};
+use mcond_gnn::GraphOps;
+use mcond_graph::Scale;
+use mcond_propagate::{label_propagation, PropagationConfig};
+
+fn pipeline() -> Pipeline {
+    build_pipeline("reddit", Scale::Small, 0.015, 0, Some(60))
+}
+
+fn bench_inductive_inference(c: &mut Criterion) {
+    let p = pipeline();
+    let batch = &p.data.test_batches(100, true)[0];
+    let original = InferenceTarget::Original(&p.original);
+    let synthetic = InferenceTarget::Synthetic {
+        graph: &p.mcond.synthetic,
+        mapping: &p.mcond.mapping,
+    };
+
+    let mut group = c.benchmark_group("inductive_inference");
+    group.bench_function("original_graph", |b| {
+        b.iter(|| {
+            let (adj, x) = original.attach(batch);
+            let ops = GraphOps::from_adj(&adj);
+            black_box(p.model_original.predict(&ops, &x))
+        });
+    });
+    group.bench_function("synthetic_graph", |b| {
+        b.iter(|| {
+            let (adj, x) = synthetic.attach(batch);
+            let ops = GraphOps::from_adj(&adj);
+            black_box(p.model_original.predict(&ops, &x))
+        });
+    });
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let p = pipeline();
+    let batch = &p.data.test_batches(100, true)[0];
+    let cfg = PropagationConfig::default();
+
+    let (adj_o, _) = InferenceTarget::Original(&p.original).attach(batch);
+    let (adj_s, _) = InferenceTarget::Synthetic {
+        graph: &p.mcond.synthetic,
+        mapping: &p.mcond.mapping,
+    }
+    .attach(batch);
+
+    let mut group = c.benchmark_group("label_propagation");
+    group.bench_function("original_graph", |b| {
+        b.iter(|| {
+            black_box(label_propagation(
+                &adj_o,
+                &p.original.labels,
+                p.original.num_nodes(),
+                p.original.num_classes,
+                &cfg,
+            ))
+        });
+    });
+    group.bench_function("synthetic_graph", |b| {
+        b.iter(|| {
+            black_box(label_propagation(
+                &adj_s,
+                &p.mcond.synthetic.labels,
+                p.mcond.synthetic.num_nodes(),
+                p.original.num_classes,
+                &cfg,
+            ))
+        });
+    });
+    group.finish();
+}
+
+/// The serving ablation: per-batch materialised attachment (copies the
+/// base CSR each call) versus the lazy extended propagator of
+/// `InductiveServer` — same logits, different per-batch cost.
+fn bench_serving(c: &mut Criterion) {
+    let p = pipeline();
+    let batch = &p.data.test_batches(100, true)[0];
+    let original = InferenceTarget::Original(&p.original);
+    let server = InductiveServer::on_original(&p.original, &p.model_original);
+
+    let mut group = c.benchmark_group("serving_original_graph");
+    group.bench_function("materialised_per_batch", |b| {
+        b.iter(|| {
+            let (adj, x) = original.attach(batch);
+            let ops = GraphOps::from_adj(&adj);
+            let logits = p.model_original.predict(&ops, &x);
+            black_box(logits.slice_rows(p.original.num_nodes(), x.rows()))
+        });
+    });
+    group.bench_function("lazy_extended_server", |b| {
+        b.iter(|| black_box(server.serve(batch)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inductive_inference, bench_propagation, bench_serving
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the hot algebra kernels: dense GEMM (all transpose
+//! flavours) and sparse×dense SpMM — the primitives behind every training
+//! step and inference pass, and the subject of the DESIGN.md ablation on
+//! CSR SpMM vs dense matmul for synthetic-graph inference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcond_graph::{generate_sbm, SbmConfig};
+use mcond_linalg::MatRng;
+use mcond_sparse::sym_normalize;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = MatRng::seed_from(1);
+        let a = rng.uniform(n, n, -1.0, 1.0);
+        let b = rng.uniform(n, n, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_tn(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &n in &[1_000usize, 4_000] {
+        let graph = generate_sbm(&SbmConfig {
+            nodes: n,
+            edges: n * 10,
+            feature_dim: 64,
+            ..SbmConfig::default()
+        });
+        let ahat = sym_normalize(&graph.adj);
+        let dense = ahat.to_dense();
+        // One propagation step, sparse vs dense representation of Â.
+        group.bench_with_input(BenchmarkId::new("csr", n), &n, |bch, _| {
+            bch.iter(|| black_box(ahat.spmm(&graph.features)));
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |bch, _| {
+                bch.iter(|| black_box(dense.matmul(&graph.features)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let graph = generate_sbm(&SbmConfig {
+        nodes: 4_000,
+        edges: 40_000,
+        feature_dim: 8,
+        ..SbmConfig::default()
+    });
+    c.bench_function("sym_normalize/4000", |b| {
+        b.iter(|| black_box(sym_normalize(&graph.adj)));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_normalize);
+criterion_main!(benches);

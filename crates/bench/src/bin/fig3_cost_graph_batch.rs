@@ -1,0 +1,7 @@
+//! Fig. 3: inference time and memory under the **graph batch** setting for
+//! each dataset and reduction ratio, with the MCond-vs-Whole acceleration
+//! and compression rates the figure annotates.
+
+fn main() {
+    mcond_bench::cost::run_cost_experiment(true, "Fig. 3 — inference cost, graph batch");
+}

@@ -1,0 +1,6 @@
+//! Fig. 4: inference time and memory under the **node batch** setting
+//! (inductive nodes arrive without interconnections; ã = 0).
+
+fn main() {
+    mcond_bench::cost::run_cost_experiment(false, "Fig. 4 — inference cost, node batch");
+}

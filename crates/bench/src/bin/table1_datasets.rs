@@ -1,0 +1,36 @@
+//! Table I: dataset properties. Generates every dataset at the requested
+//! scale and prints node/edge/feature/class counts and the training-set
+//! size (the original graph handed to condensation), alongside homophily
+//! as a sanity column for the synthetic substitution.
+
+use mcond_bench::{parse_args, print_table, Row, TableReport};
+use mcond_graph::load_dataset;
+
+fn main() {
+    let args = parse_args();
+    let mut report = TableReport::new("Table I — dataset properties");
+    for name in &args.datasets {
+        let data = match load_dataset(name, args.scale, args.seed) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        let stats = data.full.stats();
+        report.push(
+            Row::new()
+                .key("dataset", name)
+                .metric("#nodes", stats.nodes as f64)
+                .metric("#edges", stats.edges as f64)
+                .metric("#feature", stats.features as f64)
+                .metric("#class", stats.classes as f64)
+                .metric("#training", data.train_idx.len() as f64)
+                .metric("homophily", data.full.edge_homophily()),
+        );
+    }
+    print_table(&report);
+    if let Some(path) = &args.json {
+        report.dump_json(path).expect("write json");
+    }
+}

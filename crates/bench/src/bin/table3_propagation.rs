@@ -1,0 +1,122 @@
+//! Table III: label propagation (LP) and error propagation (EP) on the
+//! original (O) versus synthetic (S) graph, with per-batch propagation time
+//! and the S-vs-O acceleration ratio.
+//!
+//! The vanilla model is SGC trained on the synthetic graph (matching the
+//! paper's Table III baseline rows, which equal MCond_SO / MCond_SS).
+
+use mcond_bench::pipeline::{build_pipeline, default_batch_size};
+use mcond_bench::{parse_args, print_table, Row, TableReport};
+use mcond_core::InferenceTarget;
+use mcond_gnn::{accuracy, GnnModel, GraphOps};
+use mcond_graph::dataset_spec;
+use mcond_propagate::{error_propagation, label_propagation, PropagationConfig};
+use std::time::Instant;
+
+struct Outcome {
+    vanilla: f64,
+    lp: f64,
+    ep: f64,
+    propagation_ms: f64,
+}
+
+fn evaluate(
+    model: &GnnModel,
+    target: &InferenceTarget,
+    batches: &[mcond_graph::NodeBatch],
+    base_labels: &[usize],
+    num_classes: usize,
+) -> Outcome {
+    let cfg = PropagationConfig::default();
+    let n_base = target.base_nodes();
+    let mut vanilla_hits = 0.0;
+    let mut lp_hits = 0.0;
+    let mut ep_hits = 0.0;
+    let mut nodes = 0usize;
+    let mut prop_seconds = 0.0;
+    for batch in batches {
+        let (adj, x) = target.attach(batch);
+        let ops = GraphOps::from_adj(&adj);
+        let logits = model.predict(&ops, &x);
+        let test_logits = logits.slice_rows(n_base, logits.rows());
+        vanilla_hits += accuracy(&test_logits, &batch.labels) * batch.len() as f64;
+
+        let start = Instant::now();
+        let lp_scores = label_propagation(&adj, base_labels, n_base, num_classes, &cfg);
+        let ep_scores = error_propagation(&adj, &logits, base_labels, n_base, 1.0, &cfg);
+        prop_seconds += start.elapsed().as_secs_f64();
+
+        let lp_test = lp_scores.slice_rows(n_base, lp_scores.rows());
+        let ep_test = ep_scores.slice_rows(n_base, ep_scores.rows());
+        lp_hits += accuracy(&lp_test, &batch.labels) * batch.len() as f64;
+        ep_hits += accuracy(&ep_test, &batch.labels) * batch.len() as f64;
+        nodes += batch.len();
+    }
+    let n = nodes.max(1) as f64;
+    Outcome {
+        vanilla: 100.0 * vanilla_hits / n,
+        lp: 100.0 * lp_hits / n,
+        ep: 100.0 * ep_hits / n,
+        // LP+EP measured together above; report the per-batch half as the
+        // per-technique propagation time.
+        propagation_ms: 500.0 * prop_seconds / batches.len().max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut report = TableReport::new("Table III — label/error propagation on O vs S");
+    for name in &args.datasets {
+        let Ok(spec) = dataset_spec(name, args.scale, args.seed) else {
+            eprintln!("skipping unknown dataset {name}");
+            continue;
+        };
+        // Paper uses the larger ratio for Pubmed/Flickr, the smaller for
+        // Reddit.
+        let ratio = if name == "reddit" { spec.ratios[0] } else { spec.ratios[1] };
+        let p = build_pipeline(name, args.scale, ratio, args.seed, args.epochs);
+        for &graph_batch in &[true, false] {
+            let batch_label = if graph_batch { "graph" } else { "node" };
+            let batches = p.data.test_batches(default_batch_size(args.scale), graph_batch);
+
+            let orig = evaluate(
+                &p.model_synthetic,
+                &InferenceTarget::Original(&p.original),
+                &batches,
+                &p.original.labels,
+                p.original.num_classes,
+            );
+            let syn = evaluate(
+                &p.model_synthetic,
+                &InferenceTarget::Synthetic {
+                    graph: &p.mcond.synthetic,
+                    mapping: &p.mcond.mapping,
+                },
+                &batches,
+                &p.mcond.synthetic.labels,
+                p.original.num_classes,
+            );
+
+            for (graph_label, o, accel) in [
+                ("O", &orig, 1.0),
+                ("S", &syn, orig.propagation_ms / syn.propagation_ms.max(1e-9)),
+            ] {
+                report.push(
+                    Row::new()
+                        .key("dataset", format!("{name} ({:.2}%)", 100.0 * ratio))
+                        .key("batch", batch_label)
+                        .key("graph", graph_label)
+                        .metric("vanilla", o.vanilla)
+                        .metric("LP", o.lp)
+                        .metric("EP", o.ep)
+                        .metric("prop_time_ms", o.propagation_ms)
+                        .metric("accel", accel),
+                );
+            }
+        }
+    }
+    print_table(&report);
+    if let Some(path) = &args.json {
+        report.dump_json(path).expect("write json");
+    }
+}

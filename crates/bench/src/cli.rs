@@ -1,0 +1,121 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+use mcond_graph::Scale;
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// `--scale small|paper` (default `small`).
+    pub scale: Scale,
+    /// `--seed N` base seed (default 0).
+    pub seed: u64,
+    /// `--repeats N` independent runs per cell (default 3; the paper uses
+    /// 5).
+    pub repeats: usize,
+    /// `--datasets a,b,c` filter (default: all three).
+    pub datasets: Vec<String>,
+    /// `--json PATH` also dump machine-readable results.
+    pub json: Option<String>,
+    /// `--epochs N` override GNN training epochs.
+    pub epochs: Option<usize>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            seed: 0,
+            repeats: 3,
+            datasets: vec!["pubmed".into(), "flickr".into(), "reddit".into()],
+            json: None,
+            epochs: None,
+        }
+    }
+}
+
+/// Parses `std::env::args`, exiting with a usage message on errors.
+#[must_use]
+pub fn parse_args() -> BenchArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut it = args.peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| usage(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                out.scale = match value("--scale").as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => usage(&format!("unknown scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--repeats" => {
+                out.repeats =
+                    value("--repeats").parse().unwrap_or_else(|_| usage("bad --repeats"))
+            }
+            "--datasets" => {
+                out.datasets = value("--datasets").split(',').map(str::to_owned).collect()
+            }
+            "--json" => out.json = Some(value("--json")),
+            "--epochs" => {
+                out.epochs =
+                    Some(value("--epochs").parse().unwrap_or_else(|_| usage("bad --epochs")))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if out.repeats == 0 {
+        usage("--repeats must be positive");
+    }
+    out
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <experiment> [--scale small|paper] [--seed N] [--repeats N] \
+         [--datasets pubmed,flickr,reddit] [--json PATH] [--epochs N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> BenchArgs {
+        parse_from(items.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let args = parse(&[]);
+        assert_eq!(args.scale, Scale::Small);
+        assert_eq!(args.repeats, 3);
+        assert_eq!(args.datasets.len(), 3);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let args = parse(&[
+            "--scale", "paper", "--seed", "9", "--repeats", "5", "--datasets", "reddit",
+            "--epochs", "40",
+        ]);
+        assert_eq!(args.scale, Scale::Paper);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.repeats, 5);
+        assert_eq!(args.datasets, vec!["reddit".to_owned()]);
+        assert_eq!(args.epochs, Some(40));
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared driver for the Fig. 3 / Fig. 4 inference-cost experiments.
+
+use crate::pipeline::{build_pipeline, default_batch_size};
+use crate::{evaluate_inductive, parse_args, print_table, propagated_embeddings, Row, TableReport};
+use mcond_core::{coreset, vng, CoresetMethod, InferenceTarget};
+use mcond_graph::dataset_spec;
+
+/// Runs the inference time/memory comparison for one batch setting and
+/// prints/dumps the report. Annotates each method with its acceleration and
+/// compression rate versus Whole, as the figures do.
+pub fn run_cost_experiment(graph_batch: bool, title: &str) {
+    let args = parse_args();
+    let mut report = TableReport::new(title);
+    for name in &args.datasets {
+        let Ok(spec) = dataset_spec(name, args.scale, args.seed) else {
+            eprintln!("skipping unknown dataset {name}");
+            continue;
+        };
+        for &ratio in &spec.ratios {
+            let p = build_pipeline(name, args.scale, ratio, args.seed, args.epochs);
+            let batches = p.data.test_batches(default_batch_size(args.scale), graph_batch);
+            let embeddings = propagated_embeddings(&p.original, 2);
+            let n_syn = p.mcond.synthetic.num_nodes();
+
+            let whole = evaluate_inductive(
+                &p.model_original,
+                &InferenceTarget::Original(&p.original),
+                &batches,
+            );
+            let random =
+                coreset(&p.original, &embeddings, n_syn, CoresetMethod::Random, args.seed);
+            let random_cost = evaluate_inductive(
+                &p.model_original,
+                &InferenceTarget::Synthetic { graph: &random.graph, mapping: &random.mapping },
+                &batches,
+            );
+            let virtual_graph = vng(&p.original, &p.original.features, n_syn, args.seed);
+            let vng_cost = evaluate_inductive(
+                &p.model_original,
+                &InferenceTarget::Synthetic {
+                    graph: &virtual_graph.graph,
+                    mapping: &virtual_graph.mapping,
+                },
+                &batches,
+            );
+            let mcond_cost = evaluate_inductive(
+                &p.model_original,
+                &InferenceTarget::Synthetic {
+                    graph: &p.mcond.synthetic,
+                    mapping: &p.mcond.mapping,
+                },
+                &batches,
+            );
+
+            for (method, res) in [
+                ("Whole", whole),
+                ("Random", random_cost),
+                ("VNG", vng_cost),
+                ("MCond", mcond_cost),
+            ] {
+                report.push(
+                    Row::new()
+                        .key("dataset", name)
+                        .key("r", format!("{:.2}%", 100.0 * ratio))
+                        .key("method", method)
+                        .metric("time_ms", 1000.0 * res.seconds_per_batch)
+                        .metric("memory_MB", res.memory_bytes as f64 / 1e6)
+                        .metric(
+                            "speedup_vs_whole",
+                            whole.seconds_per_batch / res.seconds_per_batch.max(1e-12),
+                        )
+                        .metric(
+                            "compression_vs_whole",
+                            whole.memory_bytes as f64 / res.memory_bytes.max(1) as f64,
+                        ),
+                );
+            }
+        }
+    }
+    print_table(&report);
+    if let Some(path) = &args.json {
+        report.dump_json(path).expect("write json");
+    }
+}

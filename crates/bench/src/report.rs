@@ -1,0 +1,162 @@
+//! Table rendering and machine-readable result dumps.
+
+use serde::Serialize;
+
+/// One result row: free-form key columns plus named numeric metrics.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Key columns (dataset, method, ratio, …) in table order.
+    pub keys: Vec<(String, String)>,
+    /// Metric columns (accuracy, time, memory, …) in table order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Starts a row.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { keys: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Adds a key column.
+    #[must_use]
+    pub fn key(mut self, name: &str, value: impl ToString) -> Self {
+        self.keys.push((name.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a metric column.
+    #[must_use]
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        self.metrics.push((name.to_owned(), value));
+        self
+    }
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A titled collection of rows.
+#[derive(Clone, Debug, Serialize)]
+pub struct TableReport {
+    /// Table/figure title (e.g. `"Table II — inductive accuracy"`).
+    pub title: String,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl TableReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new(title: &str) -> Self {
+        Self { title: title.to_owned(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Writes the report as JSON to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O and serialisation errors.
+    pub fn dump_json(&self, path: &str) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Renders a report as an aligned text table to stdout.
+pub fn print_table(report: &TableReport) {
+    println!("\n=== {} ===", report.title);
+    let Some(first) = report.rows.first() else {
+        println!("(no rows)");
+        return;
+    };
+    let headers: Vec<String> = first
+        .keys
+        .iter()
+        .map(|(k, _)| k.clone())
+        .chain(first.metrics.iter().map(|(k, _)| k.clone()))
+        .collect();
+    let mut cells: Vec<Vec<String>> = vec![headers];
+    for row in &report.rows {
+        cells.push(
+            row.keys
+                .iter()
+                .map(|(_, v)| v.clone())
+                .chain(row.metrics.iter().map(|(_, v)| format_metric(*v)))
+                .collect(),
+        );
+    }
+    let cols = cells[0].len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| cells.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+        .collect();
+    for (i, row) in cells.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:>w$}", w = *w))
+            .collect();
+        println!("{}", line.join("  "));
+        if i == 0 {
+            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        }
+    }
+}
+
+fn format_metric(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 1e7 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1e6 {
+        format!("{:.3e}", v)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_keep_column_order() {
+        let row = Row::new().key("dataset", "pubmed").key("r", 0.01).metric("acc", 0.78);
+        assert_eq!(row.keys[0].0, "dataset");
+        assert_eq!(row.keys[1].1, "0.01");
+        assert_eq!(row.metrics[0], ("acc".to_owned(), 0.78));
+    }
+
+    #[test]
+    fn json_dump_round_trips() {
+        let mut report = TableReport::new("test");
+        report.push(Row::new().key("k", "v").metric("m", 1.5));
+        let path = std::env::temp_dir().join("mcond_report_test.json");
+        report.dump_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"title\": \"test\""));
+        assert!(text.contains("1.5"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metric_formatting_scales() {
+        assert_eq!(format_metric(0.0), "0");
+        assert_eq!(format_metric(0.78125), "0.7812");
+        assert_eq!(format_metric(123.456), "123.5");
+        assert!(format_metric(2.5e7).contains('e'));
+        assert!(format_metric(0.0001).contains('e'));
+    }
+}

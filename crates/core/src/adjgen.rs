@@ -1,0 +1,159 @@
+//! The synthetic adjacency generator MLP_Φ of Eq. (6):
+//! `A'_ij = σ((MLP_Φ([x'_i; x'_j]) + MLP_Φ([x'_j; x'_i])) / 2)`, with the
+//! diagonal zeroed (the normalisation re-adds the self-loop).
+
+use mcond_autodiff::{Adam, Tape, Var};
+use mcond_linalg::{DMat, MatRng};
+
+/// A 2-layer MLP over concatenated synthetic-node feature pairs.
+pub struct AdjacencyGenerator {
+    /// First layer `2d x h`.
+    pub w1: DMat,
+    /// First-layer bias.
+    pub b1: DMat,
+    /// Second layer `h x 1`.
+    pub w2: DMat,
+    /// Second-layer bias.
+    pub b2: DMat,
+}
+
+impl AdjacencyGenerator {
+    /// Glorot-initialised generator for feature dimension `d` and hidden
+    /// width `hidden`.
+    #[must_use]
+    pub fn init(feature_dim: usize, hidden: usize, rng: &mut MatRng) -> Self {
+        Self {
+            w1: rng.glorot(2 * feature_dim, hidden),
+            b1: DMat::zeros(1, hidden),
+            w2: rng.glorot(hidden, 1),
+            b2: DMat::zeros(1, 1),
+        }
+    }
+
+    /// Registers Φ's parameters on the tape (order: w1, b1, w2, b2).
+    pub fn tape_params(&self, tape: &mut Tape) -> [Var; 4] {
+        [
+            tape.param(self.w1.clone()),
+            tape.param(self.b1.clone()),
+            tape.param(self.w2.clone()),
+            tape.param(self.b2.clone()),
+        ]
+    }
+
+    /// Builds the dense `N' x N'` synthetic adjacency from the feature var
+    /// `xs` and parameter vars `ps` — the full Eq. (6) with zeroed diagonal.
+    /// Values lie in `(0, 1)` off the diagonal.
+    pub fn adjacency(&self, tape: &mut Tape, ps: &[Var; 4], xs: Var) -> Var {
+        let pairs = tape.pair_concat(xs); // N'^2 x 2d
+        let h = tape.matmul(pairs, ps[0]);
+        let h = tape.add_row_broadcast(h, ps[1]);
+        let h = tape.relu(h);
+        let z = tape.matmul(h, ps[2]);
+        let z = tape.add_row_broadcast(z, ps[3]); // N'^2 x 1
+        let sym = tape.pair_mean_sym(z); // N' x N'
+        let sig = tape.sigmoid(sym);
+        tape.zero_diagonal(sig)
+    }
+
+    /// Tape-free evaluation of the adjacency for the current parameters —
+    /// used after training and by the sparsification step.
+    #[must_use]
+    pub fn adjacency_detached(&self, xs: &DMat) -> DMat {
+        let mut tape = Tape::new();
+        let ps = self.tape_params(&mut tape);
+        let x = tape.constant(xs.clone());
+        let a = self.adjacency(&mut tape, &ps, x);
+        tape.value(a).clone()
+    }
+
+    /// Creates Adam optimizers for the four parameters, matching
+    /// [`AdjacencyGenerator::tape_params`] order.
+    #[must_use]
+    pub fn optimizers(&self, lr: f32) -> [Adam; 4] {
+        [
+            Adam::new(lr, self.w1.rows(), self.w1.cols()),
+            Adam::new(lr, 1, self.b1.cols()),
+            Adam::new(lr, self.w2.rows(), self.w2.cols()),
+            Adam::new(lr, 1, 1),
+        ]
+    }
+
+    /// Applies gradient steps to all four parameters.
+    pub fn apply(
+        &mut self,
+        grads: &mut mcond_autodiff::Gradients,
+        ps: &[Var; 4],
+        opts: &mut [Adam; 4],
+    ) {
+        let params = [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2];
+        for ((param, var), opt) in params.into_iter().zip(ps).zip(opts.iter_mut()) {
+            if let Some(g) = grads.take(*var) {
+                opt.step(param, &g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_symmetric_bounded_and_hollow() {
+        let mut rng = MatRng::seed_from(9);
+        let generator = AdjacencyGenerator::init(5, 8, &mut rng);
+        let xs = rng.normal(6, 5, 0.0, 1.0);
+        let a = generator.adjacency_detached(&xs);
+        assert_eq!(a.shape(), (6, 6));
+        for i in 0..6 {
+            assert_eq!(a.get(i, i), 0.0, "diagonal must be zeroed");
+            for j in 0..6 {
+                let v = a.get(i, j);
+                assert!((0.0..1.0).contains(&v), "A'[{i}][{j}] = {v} out of (0,1)");
+                assert!(
+                    mcond_linalg::approx_eq(v, a.get(j, i), 1e-6),
+                    "asymmetric at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_flows_to_all_parameters_and_features() {
+        let mut rng = MatRng::seed_from(10);
+        let generator = AdjacencyGenerator::init(4, 6, &mut rng);
+        let xs0 = rng.normal(5, 4, 0.0, 1.0);
+        let mut tape = Tape::new();
+        let ps = generator.tape_params(&mut tape);
+        let xs = tape.param(xs0);
+        let a = generator.adjacency(&mut tape, &ps, xs);
+        let loss = tape.l21(a);
+        let grads = tape.backward(loss);
+        for p in ps {
+            assert!(grads.get(p).is_some(), "missing gradient for a Φ parameter");
+        }
+        let gx = grads.get(xs).expect("missing gradient for features");
+        assert!(gx.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn training_can_push_edge_values_down() {
+        // Minimising Σ σ(...)² should shrink mean edge weight.
+        let mut rng = MatRng::seed_from(11);
+        let mut generator = AdjacencyGenerator::init(3, 6, &mut rng);
+        let xs = rng.normal(5, 3, 0.0, 1.0);
+        let before = generator.adjacency_detached(&xs).mean();
+        let mut opts = generator.optimizers(0.05);
+        for _ in 0..40 {
+            let mut tape = Tape::new();
+            let ps = generator.tape_params(&mut tape);
+            let x = tape.constant(xs.clone());
+            let a = generator.adjacency(&mut tape, &ps, x);
+            let loss = tape.l21(a);
+            let mut grads = tape.backward(loss);
+            generator.apply(&mut grads, &ps, &mut opts);
+        }
+        let after = generator.adjacency_detached(&xs).mean();
+        assert!(after < before, "{before} -> {after}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Deployment artifacts: persist a condensation result as a directory
+//! bundle so the (tiny) synthetic graph and mapping can ship without the
+//! original graph — the storage win the paper's Fig. 3/4 measure.
+//!
+//! Layout of an artifact directory:
+//!
+//! ```text
+//! <dir>/synthetic.mcg   the synthetic graph S = {A', X', Y'} (MCG1)
+//! <dir>/mapping.mcs     the sparsified mapping M : N x N' (MCS1)
+//! ```
+
+use crate::Condensed;
+use mcond_graph::{load_graph, save_graph, Graph};
+use mcond_sparse::{load_csr, save_csr, Csr};
+use std::io;
+use std::path::Path;
+
+/// The deployable subset of a condensation result.
+#[derive(Debug)]
+pub struct Artifact {
+    /// The synthetic graph `S`.
+    pub synthetic: Graph,
+    /// The sparsified mapping `M`.
+    pub mapping: Csr,
+}
+
+impl Artifact {
+    /// Total on-disk/in-memory footprint in bytes (adjacency + features +
+    /// labels + mapping) — the deployment storage the paper compares.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.synthetic.adj.storage_bytes()
+            + self.synthetic.features.len() * std::mem::size_of::<f32>()
+            + self.synthetic.labels.len() * std::mem::size_of::<u32>()
+            + self.mapping.storage_bytes()
+    }
+}
+
+/// Writes the deployable pieces of `condensed` into `dir` (created if
+/// missing).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_condensed(condensed: &Condensed, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    save_graph(&condensed.synthetic, &dir.join("synthetic.mcg"))?;
+    save_csr(&condensed.mapping, &dir.join("mapping.mcs"))
+}
+
+/// Loads an artifact bundle written by [`save_condensed`].
+///
+/// # Errors
+/// Propagates I/O errors; cross-file inconsistencies yield `InvalidData`.
+pub fn load_condensed(dir: &Path) -> io::Result<Artifact> {
+    let synthetic = load_graph(&dir.join("synthetic.mcg"))?;
+    let mapping = load_csr(&dir.join("mapping.mcs"))?;
+    if mapping.cols() != synthetic.num_nodes() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "mapping has {} columns but the synthetic graph has {} nodes",
+                mapping.cols(),
+                synthetic.num_nodes()
+            ),
+        ));
+    }
+    Ok(Artifact { synthetic, mapping })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{condense, McondConfig};
+    use mcond_graph::{load_dataset, Scale};
+
+    fn quick() -> Condensed {
+        let data = load_dataset("pubmed", Scale::Small, 0).unwrap();
+        condense(
+            &data,
+            &McondConfig {
+                ratio: 0.02,
+                outer_loops: 1,
+                relay_steps: 2,
+                mapping_steps: 3,
+                support_cap: 16,
+                ..McondConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let condensed = quick();
+        let dir = std::env::temp_dir().join("mcond_artifact_test");
+        save_condensed(&condensed, &dir).unwrap();
+        let artifact = load_condensed(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(artifact.synthetic.adj, condensed.synthetic.adj);
+        assert_eq!(artifact.synthetic.features, condensed.synthetic.features);
+        assert_eq!(artifact.synthetic.labels, condensed.synthetic.labels);
+        assert_eq!(artifact.mapping, condensed.mapping);
+    }
+
+    #[test]
+    fn mismatched_bundle_is_rejected() {
+        let condensed = quick();
+        let dir = std::env::temp_dir().join("mcond_artifact_bad");
+        save_condensed(&condensed, &dir).unwrap();
+        // Overwrite the mapping with one of the wrong width.
+        let wrong = Csr::eye(3);
+        mcond_sparse::save_csr(&wrong, &dir.join("mapping.mcs")).unwrap();
+        let err = load_condensed(&dir).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn storage_accounting_is_positive_and_consistent() {
+        let condensed = quick();
+        let dir = std::env::temp_dir().join("mcond_artifact_storage");
+        save_condensed(&condensed, &dir).unwrap();
+        let artifact = load_condensed(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let bytes = artifact.storage_bytes();
+        assert!(bytes > 0);
+        assert!(
+            bytes
+                >= artifact.synthetic.adj.storage_bytes()
+                    + artifact.mapping.storage_bytes()
+        );
+    }
+}

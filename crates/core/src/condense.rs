@@ -1,0 +1,631 @@
+//! Algorithm 1: alternating optimisation of the synthetic graph `S` and the
+//! mapping matrix `M`.
+
+use crate::adjgen::AdjacencyGenerator;
+use crate::coreset::class_budgets;
+use crate::mapping::Mapping;
+use crate::relay::Relay;
+use crate::sampling::sample_edge_batch;
+use mcond_autodiff::{Adam, Tape};
+use mcond_graph::{Graph, InductiveDataset};
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{sparsify_dense, sym_normalize, Csr};
+use std::rc::Rc;
+
+/// Distance used to compare relay gradients in the matching objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GradDistance {
+    /// Eq. (5): summed column-wise cosine distances (the paper's choice).
+    Cosine,
+    /// Plain Frobenius distance `‖G - G'‖_F` (DosCond-style) — the DESIGN.md
+    /// ablation comparator.
+    L2,
+}
+
+/// Hyper-parameters of MCond (defaults follow §IV-A where stated).
+#[derive(Clone, Debug)]
+pub struct McondConfig {
+    /// Condensation ratio `r = N'/N`.
+    pub ratio: f64,
+    /// Outer loops `K` (each draws a fresh relay initialisation `θ₀`).
+    pub outer_loops: usize,
+    /// Inner steps `T` per outer loop (synthetic-graph updates, each
+    /// followed by one relay step).
+    pub relay_steps: usize,
+    /// Mapping updates per outer loop.
+    pub mapping_steps: usize,
+    /// Propagation depth `L` (paper: 2-layer models).
+    pub hops: usize,
+    /// Hidden width of the MLP_Φ adjacency generator.
+    pub adjgen_hidden: usize,
+    /// Structure-loss weight `λ` (Eq. 9).
+    pub lambda: f32,
+    /// Inductive-loss weight `β` (Eq. 13).
+    pub beta: f32,
+    /// Learning rate `η₁` for `X'`.
+    pub lr_feat: f32,
+    /// Learning rate `η₂` for Φ.
+    pub lr_phi: f32,
+    /// Learning rate for `M` (paper: 0.1).
+    pub lr_map: f32,
+    /// Learning rate for the relay GNN.
+    pub lr_relay: f32,
+    /// `ε` of Eq. (15) (paper: 1e-5).
+    pub epsilon: f32,
+    /// Sparsification threshold `µ` for `A'` (Eq. 14).
+    pub mu: f32,
+    /// Sparsification threshold `δ` for `M` (Eq. 14).
+    pub delta: f32,
+    /// Edge samples per structure-loss batch (half positive/half negative).
+    pub structure_batch: usize,
+    /// Cap on support (validation) nodes used by the inductive loss per
+    /// step; the dense block of Eq. (11) is `(N' + n)²`.
+    pub support_cap: usize,
+    /// Row mini-batch size for the transductive loss (`0` = all rows).
+    /// Eq. (10) is a sum over original-node rows, so sampling rows is plain
+    /// SGD; required at paper scale where the full `N x N'` product per
+    /// step is prohibitive.
+    pub transductive_batch: usize,
+    /// Ablation: disable the structure loss `L_str` ("w/o L_str").
+    pub use_structure_loss: bool,
+    /// Ablation: disable the inductive loss `L_ind` ("w/o L_ind").
+    pub use_inductive_loss: bool,
+    /// Disable mapping training entirely — this is the GCond baseline (the
+    /// returned mapping is the normalised class-aware init).
+    pub train_mapping: bool,
+    /// Class-aware init for `M` (§III-E); `false` gives the Fig. 5(c)
+    /// random-init comparator.
+    pub class_aware_init: bool,
+    /// Gradient-distance variant (ablation; the paper uses cosine).
+    pub grad_distance: GradDistance,
+    /// Match gradients per class (as the original GCond implementation
+    /// does) instead of over the whole graph at once. Per-class matching is
+    /// `C+1`x more work per step; at the default whole-graph setting the
+    /// class balance is carried by the label-proportional `Y'`.
+    pub per_class_matching: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McondConfig {
+    fn default() -> Self {
+        Self {
+            ratio: 0.02,
+            outer_loops: 4,
+            relay_steps: 12,
+            mapping_steps: 30,
+            hops: 2,
+            adjgen_hidden: 64,
+            lambda: 0.1,
+            beta: 100.0,
+            lr_feat: 0.05,
+            lr_phi: 0.01,
+            lr_map: 0.1,
+            lr_relay: 0.05,
+            epsilon: 1e-5,
+            mu: 0.5,
+            delta: 0.01,
+            structure_batch: 256,
+            support_cap: 128,
+            transductive_batch: 0,
+            use_structure_loss: true,
+            use_inductive_loss: true,
+            train_mapping: true,
+            class_aware_init: true,
+            grad_distance: GradDistance::Cosine,
+            per_class_matching: false,
+            seed: 0,
+        }
+    }
+}
+
+impl McondConfig {
+    /// The GCond baseline: gradient matching only, no structure loss, no
+    /// mapping training.
+    #[must_use]
+    pub fn gcond(ratio: f64, seed: u64) -> Self {
+        Self {
+            ratio,
+            use_structure_loss: false,
+            use_inductive_loss: false,
+            train_mapping: false,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-step loss traces of a condensation run.
+#[derive(Clone, Debug, Default)]
+pub struct CondenseHistory {
+    /// Gradient-matching loss `L_gra` per synthetic-graph step.
+    pub grad_loss: Vec<f32>,
+    /// Structure loss `L_str` per synthetic-graph step (empty when
+    /// disabled).
+    pub structure_loss: Vec<f32>,
+    /// Transductive loss `L_tra` per mapping step.
+    pub transductive_loss: Vec<f32>,
+    /// Inductive loss `L_ind` per mapping step (empty when disabled).
+    pub inductive_loss: Vec<f32>,
+    /// Total mapping loss `L_M` per mapping step — Fig. 5(c)'s y-axis.
+    pub mapping_loss: Vec<f32>,
+}
+
+/// The result of condensation.
+pub struct Condensed {
+    /// `S = {A', X', Y'}` with the sparsified adjacency.
+    pub synthetic: Graph,
+    /// Sparsified mapping `M : N x N'`.
+    pub mapping: Csr,
+    /// Dense `A'` before Eq. (14) — kept for the Fig. 6 sweeps.
+    pub dense_adj: DMat,
+    /// Dense normalised `M` before Eq. (14).
+    pub dense_mapping: DMat,
+    /// Loss traces.
+    pub history: CondenseHistory,
+}
+
+impl Condensed {
+    /// Re-applies Eq. (14) with new thresholds to the stored dense matrices
+    /// (the Fig. 6 experiment varies `δ` without re-condensing).
+    #[must_use]
+    pub fn resparsify(&self, mu: f32, delta: f32) -> (Csr, Csr) {
+        let (adj, _) = sparsify_dense(&self.dense_adj, mu);
+        let (map, _) = sparsify_dense(&self.dense_mapping, delta);
+        (adj, map)
+    }
+}
+
+/// Runs MCond (Algorithm 1) on the dataset's original (training) graph.
+///
+/// # Panics
+/// Panics when the ratio yields fewer synthetic nodes than classes.
+#[must_use]
+pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
+    let original = data.original_graph();
+    let n = original.num_nodes();
+    let d = original.feature_dim();
+    let c = original.num_classes;
+    let n_syn = ((cfg.ratio * n as f64).round() as usize).max(c);
+    let mut rng = MatRng::seed_from(cfg.seed);
+
+    // --- Synthetic labels Y' (fixed, class-proportional) and X' init
+    // (random real features per class, as in GCond). -----------------------
+    let budgets = class_budgets(&original.class_counts(), n_syn);
+    let mut labels_syn = Vec::with_capacity(n_syn);
+    let mut init_rows = Vec::with_capacity(n_syn);
+    for (class, &budget) in budgets.iter().enumerate() {
+        let members = original.class_members(class);
+        let picks = rng.sample_indices(members.len(), budget.min(members.len()));
+        for p in &picks {
+            init_rows.push(members[*p]);
+        }
+        // If the class has fewer members than budget, repeat samples.
+        for extra in picks.len()..budget {
+            init_rows.push(members[extra % members.len()]);
+        }
+        labels_syn.extend(std::iter::repeat_n(class, budget));
+    }
+    let mut x_syn = original.features.select_rows(&init_rows);
+    // Small jitter so repeated rows are not identical.
+    let jitter = rng.normal(x_syn.rows(), x_syn.cols(), 0.0, 0.01);
+    x_syn.add_assign(&jitter);
+    let labels_syn_rc = Rc::new(labels_syn.clone());
+
+    // --- Original-graph precomputation. -----------------------------------
+    let ahat = sym_normalize(&original.adj);
+    let mut z_orig = original.features.clone();
+    for _ in 0..cfg.hops {
+        z_orig = ahat.spmm(&z_orig);
+    }
+
+    // --- Per-class row indices for per-class gradient matching. ------------
+    let orig_class_rows: Vec<Vec<usize>> =
+        (0..c).map(|class| original.class_members(class)).collect();
+    let syn_class_rows: Vec<Rc<Vec<usize>>> = (0..c)
+        .map(|class| {
+            Rc::new(
+                labels_syn
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &y)| (y == class).then_some(i))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let class_fractions: Vec<f32> =
+        original.class_counts().iter().map(|&cnt| cnt as f32 / n as f32).collect();
+
+    // --- Support nodes (validation split, capped). -------------------------
+    let support_nodes: Vec<usize> = {
+        let cap = cfg.support_cap.min(data.val_idx.len());
+        let picks = rng.sample_indices(data.val_idx.len(), cap);
+        picks.into_iter().map(|p| data.val_idx[p]).collect()
+    };
+    let support = (!support_nodes.is_empty()).then(|| data.batch(&support_nodes, false));
+    // Propagated features of the support nodes on the *original* graph
+    // (θ-independent; embeddings follow by multiplying with the relay).
+    let z_support_orig = support.as_ref().map(|sup| {
+        let ext_adj = original.adj.block_extend(&sup.incremental, &sup.interconnect);
+        let ext_hat = sym_normalize(&ext_adj);
+        let mut z = original.features.vstack(&sup.features);
+        for _ in 0..cfg.hops {
+            z = ext_hat.spmm(&z);
+        }
+        z.slice_rows(n, n + sup.len())
+    });
+
+    // --- Trainable pieces. --------------------------------------------------
+    let mut generator = AdjacencyGenerator::init(d, cfg.adjgen_hidden, &mut rng);
+    let mut gen_opts = generator.optimizers(cfg.lr_phi);
+    let mut feat_opt = Adam::new(cfg.lr_feat, n_syn, d);
+    let mut mapping = if cfg.class_aware_init {
+        Mapping::class_init(&original.labels, &labels_syn, cfg.epsilon)
+    } else {
+        Mapping::random_init(n, n_syn, cfg.epsilon, &mut rng)
+    };
+    let mut map_opt = Adam::new(cfg.lr_map, n, n_syn);
+    let mut history = CondenseHistory::default();
+
+    // --- Algorithm 1 main loop. ---------------------------------------------
+    for _outer in 0..cfg.outer_loops {
+        let mut relay = Relay::init(d, c, cfg.hops, &mut rng);
+        let mut relay_opt_w = Adam::new(cfg.lr_relay, d, c);
+        let mut relay_opt_b = Adam::new(cfg.lr_relay, 1, c);
+
+        // ---- Update synthetic graph (lines 6–11). -------------------------
+        for _t in 0..cfg.relay_steps {
+            let m_norm = mapping.normalized_detached();
+
+            let mut tape = Tape::new();
+            let phi = generator.tape_params(&mut tape);
+            let xs = tape.param(x_syn.clone());
+            let adj_syn = generator.adjacency(&mut tape, &phi, xs);
+            let ahat_syn = tape.sym_normalize(adj_syn);
+            let mut z = xs;
+            for _ in 0..cfg.hops {
+                z = tape.matmul(ahat_syn, z);
+            }
+
+            let distance = |tape: &mut Tape, target: mcond_autodiff::Var, g| match cfg
+                .grad_distance
+            {
+                GradDistance::Cosine => tape.cosine_col_dist(target, g),
+                GradDistance::L2 => {
+                    let diff = tape.sub(target, g);
+                    tape.frobenius(diff)
+                }
+            };
+            let l_gra = if cfg.per_class_matching {
+                // Σ_c (N_c/N) · dist(G_c, G'_c) over class-restricted
+                // gradients (the original GCond objective).
+                let mut total: Option<mcond_autodiff::Var> = None;
+                for class in 0..c {
+                    let rows_syn = &syn_class_rows[class];
+                    if rows_syn.is_empty() || orig_class_rows[class].is_empty() {
+                        continue;
+                    }
+                    let z_orig_c = z_orig.select_rows(&orig_class_rows[class]);
+                    let labels_c = vec![class; orig_class_rows[class].len()];
+                    let g_orig_c = relay.gradient(&z_orig_c, &labels_c);
+                    let z_c = tape.select_rows(z, Rc::clone(rows_syn));
+                    let g_syn_c = relay.gradient_on_tape(
+                        &mut tape,
+                        z_c,
+                        Rc::new(vec![class; rows_syn.len()]),
+                    );
+                    let target = tape.constant(g_orig_c);
+                    let dist = distance(&mut tape, target, g_syn_c);
+                    let weighted = tape.scale(dist, class_fractions[class]);
+                    total = Some(match total {
+                        Some(acc) => tape.add(acc, weighted),
+                        None => weighted,
+                    });
+                }
+                total.expect("at least one non-empty class")
+            } else {
+                let g_orig = relay.gradient(&z_orig, &original.labels);
+                let g_syn =
+                    relay.gradient_on_tape(&mut tape, z, Rc::clone(&labels_syn_rc));
+                let g_target = tape.constant(g_orig);
+                distance(&mut tape, g_target, g_syn)
+            };
+            history.grad_loss.push(tape.scalar(l_gra));
+
+            let l_s = if cfg.use_structure_loss {
+                // For SGC, the relay's node embeddings H' = f(A', X') are
+                // the propagated features Â'^L X' (the classifier W is the
+                // separate readout of Eq. 2), i.e. the node `z` itself.
+                // Only the batch's rows of H̃ = M̂ H' are needed, so gather
+                // those rows of M̂ before the N-row product — identical loss
+                // and gradients, but O(|B|·N'·d) instead of O(N·N'·d).
+                let batch = sample_edge_batch(&original.adj, cfg.structure_batch, &mut rng);
+                let mut ids: Vec<usize> = batch
+                    .iter()
+                    .flat_map(|&(i, j, _)| [i as usize, j as usize])
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                let local_of = |node: u32| -> u32 {
+                    ids.binary_search(&(node as usize)).expect("node in id set") as u32
+                };
+                let local_batch: Vec<(u32, u32, f32)> =
+                    batch.iter().map(|&(i, j, t)| (local_of(i), local_of(j), t)).collect();
+                let m_const = tape.constant(m_norm.select_rows(&ids));
+                let h_tilde = tape.matmul(m_const, z);
+                let l_str = tape.pair_bce(h_tilde, Rc::new(local_batch));
+                history.structure_loss.push(tape.scalar(l_str));
+                let weighted = tape.scale(l_str, cfg.lambda);
+                tape.add(l_gra, weighted)
+            } else {
+                l_gra
+            };
+
+            let mut grads = tape.backward(l_s);
+            if let Some(g) = grads.take(xs) {
+                feat_opt.step(&mut x_syn, &g);
+            }
+            generator.apply(&mut grads, &phi, &mut gen_opts);
+
+            // Relay step on the detached synthetic graph (line 11).
+            let z_det = propagate_synthetic(&generator, &x_syn, cfg.hops);
+            relay.train_step(&z_det, &labels_syn, &mut relay_opt_w, &mut relay_opt_b);
+        }
+
+        // ---- Update mapping matrix (lines 12–15). --------------------------
+        // Embeddings are the relay's propagated features (see the structure
+        // loss above): H = Â^L X on the original graph, H' = Â'^L X' on the
+        // synthetic graph, and the support rows of the extended propagation.
+        if cfg.train_mapping {
+            // The mapping must be trained against the graph that will be
+            // *deployed*: the µ-sparsified A' (Eq. 14). Using the dense
+            // pre-threshold A' here changes the degrees — and hence the
+            // symmetric normalisation — enough that a mapping tuned on it
+            // misfires at inference time.
+            let adj_syn_det =
+                generator.adjacency_detached(&x_syn).map(|v| if v >= cfg.mu { v } else { 0.0 });
+            let h_syn = {
+                let ahat_syn = mcond_sparse::sym_normalize_dense(&adj_syn_det);
+                let mut z = x_syn.clone();
+                for _ in 0..cfg.hops {
+                    z = ahat_syn.matmul(&z);
+                }
+                z
+            };
+            let h_orig = &z_orig;
+            let h_support = z_support_orig.as_ref();
+
+            for _s in 0..cfg.mapping_steps {
+                let mut tape = Tape::new();
+                let raw = mapping.tape_param(&mut tape);
+                let m_hat = mapping.normalized(&mut tape, raw);
+
+                // L_tra (Eq. 10), optionally over a sampled row mini-batch
+                // (`transductive_batch` > 0) — plain SGD over Eq. (10)'s
+                // row sum, needed at paper scale where the full N x N'
+                // product per step is prohibitive.
+                let (m_rows, h_rows, rows_used) =
+                    if cfg.transductive_batch > 0 && cfg.transductive_batch < n {
+                        let ids = Rc::new(rng.sample_indices(n, cfg.transductive_batch));
+                        let m_sel = tape.select_rows(m_hat, Rc::clone(&ids));
+                        let h_sel = h_orig.select_rows(&ids);
+                        (m_sel, h_sel, cfg.transductive_batch)
+                    } else {
+                        (m_hat, h_orig.clone(), n)
+                    };
+                let h_syn_c = tape.constant(h_syn.clone());
+                let h_tilde = tape.matmul(m_rows, h_syn_c);
+                let h_orig_c = tape.constant(h_rows);
+                let diff = tape.sub(h_orig_c, h_tilde);
+                let l21 = tape.l21(diff);
+                let l_tra = tape.scale(l21, 1.0 / rows_used as f32);
+                history.transductive_loss.push(tape.scalar(l_tra));
+
+                let l_m = match (&support, &h_support, cfg.use_inductive_loss) {
+                    (Some(sup), Some(h_sup_target), true) => {
+                        // L_ind (Eq. 11–12): connect support nodes to S
+                        // through aM̂ and compare embeddings.
+                        let am = tape.spmm(Rc::new(sup.incremental.clone()), m_hat);
+                        let a_syn_c = tape.constant(adj_syn_det.clone());
+                        let am_t = tape.transpose(am);
+                        let top = tape.hstack(a_syn_c, am_t);
+                        let corner =
+                            tape.constant(sup.interconnect.to_dense());
+                        let bottom = tape.hstack(am, corner);
+                        let block = tape.vstack(top, bottom);
+                        let block_hat = tape.sym_normalize(block);
+                        let x_ext = tape.constant(x_syn.vstack(&sup.features));
+                        let mut z_ext = x_ext;
+                        for _ in 0..cfg.hops {
+                            z_ext = tape.matmul(block_hat, z_ext);
+                        }
+                        let h_sup_syn = tape.slice_rows(z_ext, n_syn, n_syn + sup.len());
+                        let target = tape.constant((*h_sup_target).clone());
+                        let diff_sup = tape.sub(target, h_sup_syn);
+                        let l21_sup = tape.l21(diff_sup);
+                        let l_ind = tape.scale(l21_sup, 1.0 / sup.len() as f32);
+                        history.inductive_loss.push(tape.scalar(l_ind));
+                        let weighted = tape.scale(l_ind, cfg.beta);
+                        tape.add(l_tra, weighted)
+                    }
+                    _ => l_tra,
+                };
+                history.mapping_loss.push(tape.scalar(l_m));
+
+                let mut grads = tape.backward(l_m);
+                if let Some(g) = grads.take(raw) {
+                    map_opt.step(&mut mapping.raw, &g);
+                }
+            }
+        }
+    }
+
+    // --- Eq. (14) sparsification. -------------------------------------------
+    let dense_adj = generator.adjacency_detached(&x_syn);
+    let dense_mapping = mapping.normalized_detached();
+    let (adj_sparse, _) = sparsify_dense(&dense_adj, cfg.mu);
+    let (map_sparse, _) = sparsify_dense(&dense_mapping, cfg.delta);
+
+    Condensed {
+        synthetic: Graph::new(adj_sparse, x_syn, labels_syn, c),
+        mapping: map_sparse,
+        dense_adj,
+        dense_mapping,
+        history,
+    }
+}
+
+/// Detached propagation `Z' = Â'^L X'` for the current generator/features.
+fn propagate_synthetic(generator: &AdjacencyGenerator, x_syn: &DMat, hops: usize) -> DMat {
+    let adj = generator.adjacency_detached(x_syn);
+    let ahat = mcond_sparse::sym_normalize_dense(&adj);
+    let mut z = x_syn.clone();
+    for _ in 0..hops {
+        z = ahat.matmul(&z);
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_graph::{load_dataset, Scale};
+
+    fn quick_cfg() -> McondConfig {
+        McondConfig {
+            ratio: 0.03,
+            outer_loops: 2,
+            relay_steps: 4,
+            mapping_steps: 6,
+            structure_batch: 64,
+            support_cap: 24,
+            ..McondConfig::default()
+        }
+    }
+
+    #[test]
+    fn condense_produces_consistent_shapes() {
+        let data = load_dataset("pubmed", Scale::Small, 0).unwrap();
+        let result = condense(&data, &quick_cfg());
+        let n = data.train_idx.len();
+        let n_syn = result.synthetic.num_nodes();
+        assert_eq!(n_syn, (0.03 * n as f64).round() as usize);
+        assert_eq!(result.mapping.rows(), n);
+        assert_eq!(result.mapping.cols(), n_syn);
+        assert_eq!(result.synthetic.labels.len(), n_syn);
+        assert_eq!(result.dense_adj.shape(), (n_syn, n_syn));
+    }
+
+    #[test]
+    fn synthetic_labels_match_class_distribution() {
+        let data = load_dataset("pubmed", Scale::Small, 1).unwrap();
+        let result = condense(&data, &quick_cfg());
+        let counts = result.synthetic.class_counts();
+        assert!(counts.iter().all(|&c| c >= 1));
+        // The largest original class keeps the largest synthetic budget.
+        let orig_counts = data.original_graph().class_counts();
+        let max_orig = orig_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .unwrap()
+            .0;
+        let max_syn = counts.iter().enumerate().max_by_key(|&(_, &v)| v).unwrap().0;
+        assert_eq!(max_orig, max_syn);
+    }
+
+    #[test]
+    fn losses_are_recorded_and_finite() {
+        let data = load_dataset("pubmed", Scale::Small, 2).unwrap();
+        let cfg = quick_cfg();
+        let result = condense(&data, &cfg);
+        let expected_steps = cfg.outer_loops * cfg.relay_steps;
+        assert_eq!(result.history.grad_loss.len(), expected_steps);
+        assert_eq!(result.history.structure_loss.len(), expected_steps);
+        assert_eq!(
+            result.history.mapping_loss.len(),
+            cfg.outer_loops * cfg.mapping_steps
+        );
+        assert!(result
+            .history
+            .grad_loss
+            .iter()
+            .chain(&result.history.mapping_loss)
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mapping_training_reduces_mapping_loss() {
+        let data = load_dataset("pubmed", Scale::Small, 3).unwrap();
+        let cfg = McondConfig { mapping_steps: 40, ..quick_cfg() };
+        let result = condense(&data, &cfg);
+        let losses = &result.history.mapping_loss;
+        let first_block_mean: f32 =
+            losses[..5].iter().sum::<f32>() / 5.0;
+        let last_block_mean: f32 =
+            losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
+        assert!(
+            last_block_mean < first_block_mean,
+            "{first_block_mean} -> {last_block_mean}"
+        );
+    }
+
+    #[test]
+    fn gcond_config_disables_mapping_training() {
+        let data = load_dataset("pubmed", Scale::Small, 4).unwrap();
+        let result = condense(&data, &McondConfig::gcond(0.03, 4));
+        assert!(result.history.mapping_loss.is_empty());
+        assert!(result.history.structure_loss.is_empty());
+        // Mapping still usable (normalised class init).
+        assert!(result.mapping.nnz() > 0);
+    }
+
+    #[test]
+    fn l2_distance_variant_condenses() {
+        let data = load_dataset("pubmed", Scale::Small, 8).unwrap();
+        let cfg = McondConfig { grad_distance: GradDistance::L2, ..quick_cfg() };
+        let result = condense(&data, &cfg);
+        assert!(result.history.grad_loss.iter().all(|v| v.is_finite()));
+        // L2 losses are norms, not cosine sums: strictly positive.
+        assert!(result.history.grad_loss.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn per_class_matching_condenses_and_differs_from_whole_graph() {
+        let data = load_dataset("pubmed", Scale::Small, 9).unwrap();
+        let whole = condense(&data, &quick_cfg());
+        let cfg = McondConfig { per_class_matching: true, ..quick_cfg() };
+        let per_class = condense(&data, &cfg);
+        assert_eq!(
+            whole.synthetic.num_nodes(),
+            per_class.synthetic.num_nodes()
+        );
+        assert_ne!(whole.synthetic.features, per_class.synthetic.features);
+        assert!(per_class.history.grad_loss.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn transductive_row_batching_still_learns() {
+        let data = load_dataset("pubmed", Scale::Small, 10).unwrap();
+        let cfg = McondConfig {
+            transductive_batch: 64,
+            mapping_steps: 40,
+            ..quick_cfg()
+        };
+        let result = condense(&data, &cfg);
+        let losses = &result.history.mapping_loss;
+        assert!(losses.iter().all(|v| v.is_finite()));
+        let first: f32 = losses[..5].iter().sum::<f32>() / 5.0;
+        let last: f32 = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn resparsify_is_monotone() {
+        let data = load_dataset("pubmed", Scale::Small, 5).unwrap();
+        let result = condense(&data, &quick_cfg());
+        let (_, loose) = result.resparsify(0.0, 0.0);
+        let (_, tight) = result.resparsify(0.9, 0.5);
+        assert!(tight.nnz() <= loose.nnz());
+    }
+}

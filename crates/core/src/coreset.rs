@@ -1,0 +1,331 @@
+//! Coreset baselines (§IV-A): Random, Degree, Herding, K-Center.
+//!
+//! All baselines select real training nodes per class (budgets matching the
+//! synthetic-label distribution), take the induced subgraph as the reduced
+//! graph, and expose the natural selection matrix as their mapping so the
+//! shared Eq. (11)-style inference path applies: a test node keeps exactly
+//! its edges to selected nodes.
+
+use mcond_graph::Graph;
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{Coo, Csr};
+
+/// A reduced graph plus the original→reduced node mapping, the common
+/// output shape of all graph-reduction baselines (and of MCond itself).
+pub struct ReducedGraph {
+    /// The reduced (synthetic/coreset/virtual) graph.
+    pub graph: Graph,
+    /// `N x N'` mapping from original to reduced nodes.
+    pub mapping: Csr,
+}
+
+/// Coreset selection strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoresetMethod {
+    /// Uniform per-class sampling.
+    Random,
+    /// Highest-degree nodes per class.
+    Degree,
+    /// Herding: greedily track the class centroid in embedding space.
+    Herding,
+    /// Greedy k-center in embedding space.
+    KCenter,
+}
+
+impl CoresetMethod {
+    /// All methods in Table II column order.
+    pub const ALL: [CoresetMethod; 4] = [
+        CoresetMethod::Random,
+        CoresetMethod::Degree,
+        CoresetMethod::Herding,
+        CoresetMethod::KCenter,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CoresetMethod::Random => "Random",
+            CoresetMethod::Degree => "Degree",
+            CoresetMethod::Herding => "Herding",
+            CoresetMethod::KCenter => "K-Center",
+        }
+    }
+}
+
+/// Per-class node budgets proportional to class frequency, each ≥ 1,
+/// summing to exactly `total`.
+///
+/// # Panics
+/// Panics when `total < class_counts.len()` (cannot give every class one
+/// node) or when a class is empty.
+#[must_use]
+pub(crate) fn class_budgets(class_counts: &[usize], total: usize) -> Vec<usize> {
+    let c = class_counts.len();
+    assert!(total >= c, "class_budgets: {total} synthetic nodes for {c} classes");
+    assert!(class_counts.iter().all(|&n| n > 0), "class_budgets: empty class");
+    let n: usize = class_counts.iter().sum();
+    let mut budgets: Vec<usize> = class_counts
+        .iter()
+        .map(|&cnt| ((cnt as f64 / n as f64) * total as f64).floor().max(1.0) as usize)
+        .collect();
+    let mut assigned: usize = budgets.iter().sum();
+    // Trim from the largest budgets, then top up the largest classes.
+    while assigned > total {
+        let i = budgets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 1)
+            .max_by_key(|&(_, &b)| b)
+            .map(|(i, _)| i)
+            .expect("trimmable class");
+        budgets[i] -= 1;
+        assigned -= 1;
+    }
+    let mut order: Vec<usize> = (0..c).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(class_counts[i]));
+    let mut k = 0;
+    while assigned < total {
+        let i = order[k % c];
+        if budgets[i] < class_counts[i] {
+            budgets[i] += 1;
+            assigned += 1;
+        }
+        k += 1;
+        assert!(k < 10 * c * total.max(1), "class_budgets: cannot place {total} nodes");
+    }
+    budgets
+}
+
+/// Runs a coreset baseline on the original graph.
+///
+/// * `embeddings` — per-node vectors used by Herding / K-Center (the paper
+///   uses GNN latent embeddings; propagated features work too).
+/// * `n_select` — reduced graph size `N' = rN`.
+///
+/// # Panics
+/// Panics when `n_select` is smaller than the class count.
+#[must_use]
+pub fn coreset(
+    graph: &Graph,
+    embeddings: &DMat,
+    n_select: usize,
+    method: CoresetMethod,
+    seed: u64,
+) -> ReducedGraph {
+    let budgets = class_budgets(&graph.class_counts(), n_select);
+    let mut rng = MatRng::seed_from(seed);
+    let mut selected: Vec<usize> = Vec::with_capacity(n_select);
+    for (class, &budget) in budgets.iter().enumerate() {
+        let members = graph.class_members(class);
+        let budget = budget.min(members.len());
+        let picks = match method {
+            CoresetMethod::Random => {
+                let idx = rng.sample_indices(members.len(), budget);
+                idx.into_iter().map(|i| members[i]).collect()
+            }
+            CoresetMethod::Degree => {
+                let mut by_degree = members.clone();
+                by_degree.sort_by_key(|&i| std::cmp::Reverse(graph.adj.row_cols(i).len()));
+                by_degree.truncate(budget);
+                by_degree
+            }
+            CoresetMethod::Herding => herding(&members, embeddings, budget),
+            CoresetMethod::KCenter => k_center(&members, embeddings, budget),
+        };
+        selected.extend(picks);
+    }
+    selected.sort_unstable();
+
+    let graph_reduced = graph.induced_subgraph(&selected);
+    let mut map = Coo::new(graph.num_nodes(), selected.len());
+    for (new, &old) in selected.iter().enumerate() {
+        map.push(old, new, 1.0);
+    }
+    ReducedGraph { graph: graph_reduced, mapping: map.to_csr() }
+}
+
+/// Herding (Welling 2009): greedily pick the sample that keeps the running
+/// selected-mean closest to the true class mean.
+fn herding(members: &[usize], embeddings: &DMat, budget: usize) -> Vec<usize> {
+    let d = embeddings.cols();
+    let mut mean = vec![0f32; d];
+    for &m in members {
+        for (acc, v) in mean.iter_mut().zip(embeddings.row(m)) {
+            *acc += *v / members.len() as f32;
+        }
+    }
+    let mut selected: Vec<usize> = Vec::with_capacity(budget);
+    let mut sum = vec![0f32; d];
+    let mut used = vec![false; members.len()];
+    for k in 0..budget {
+        let mut best = usize::MAX;
+        let mut best_dist = f32::INFINITY;
+        for (pos, &m) in members.iter().enumerate() {
+            if used[pos] {
+                continue;
+            }
+            // distance between mean and (sum + x)/(k+1)
+            let mut dist = 0f32;
+            for ((s, x), mu) in sum.iter().zip(embeddings.row(m)).zip(&mean) {
+                let v = (s + x) / (k + 1) as f32 - mu;
+                dist += v * v;
+            }
+            if dist < best_dist {
+                best_dist = dist;
+                best = pos;
+            }
+        }
+        used[best] = true;
+        selected.push(members[best]);
+        for (s, x) in sum.iter_mut().zip(embeddings.row(members[best])) {
+            *s += *x;
+        }
+    }
+    selected
+}
+
+/// Greedy k-center: seed with the node nearest the class mean, then add the
+/// node farthest from its nearest selected center.
+fn k_center(members: &[usize], embeddings: &DMat, budget: usize) -> Vec<usize> {
+    let d = embeddings.cols();
+    let mut mean = vec![0f32; d];
+    for &m in members {
+        for (acc, v) in mean.iter_mut().zip(embeddings.row(m)) {
+            *acc += *v / members.len() as f32;
+        }
+    }
+    let sq_dist = |a: &[f32], b: &[f32]| -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    let first = members
+        .iter()
+        .enumerate()
+        .min_by(|&(_, &a), &(_, &b)| {
+            sq_dist(embeddings.row(a), &mean)
+                .partial_cmp(&sq_dist(embeddings.row(b), &mean))
+                .unwrap()
+        })
+        .map(|(pos, _)| pos)
+        .expect("non-empty class");
+    let mut selected = vec![members[first]];
+    let mut nearest: Vec<f32> = members
+        .iter()
+        .map(|&m| sq_dist(embeddings.row(m), embeddings.row(members[first])))
+        .collect();
+    while selected.len() < budget {
+        let (far_pos, _) = nearest
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty class");
+        let new = members[far_pos];
+        selected.push(new);
+        for (pos, &m) in members.iter().enumerate() {
+            let dist = sq_dist(embeddings.row(m), embeddings.row(new));
+            if dist < nearest[pos] {
+                nearest[pos] = dist;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_graph::{generate_sbm, SbmConfig};
+
+    fn dataset() -> Graph {
+        generate_sbm(&SbmConfig {
+            nodes: 200,
+            edges: 600,
+            feature_dim: 8,
+            num_classes: 4,
+            ..SbmConfig::default()
+        })
+    }
+
+    #[test]
+    fn budgets_are_proportional_and_exact() {
+        let budgets = class_budgets(&[50, 30, 20], 10);
+        assert_eq!(budgets.iter().sum::<usize>(), 10);
+        assert!(budgets.iter().all(|&b| b >= 1));
+        assert!(budgets[0] >= budgets[2]);
+    }
+
+    #[test]
+    fn budgets_guarantee_one_per_class() {
+        let budgets = class_budgets(&[1000, 1, 1], 3);
+        assert_eq!(budgets, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn every_method_selects_the_requested_count() {
+        let g = dataset();
+        let emb = g.features.clone();
+        for method in CoresetMethod::ALL {
+            let reduced = coreset(&g, &emb, 20, method, 0);
+            assert_eq!(reduced.graph.num_nodes(), 20, "{}", method.name());
+            assert_eq!(reduced.mapping.rows(), 200);
+            assert_eq!(reduced.mapping.cols(), 20);
+            assert_eq!(reduced.mapping.nnz(), 20, "one-hot mapping expected");
+        }
+    }
+
+    #[test]
+    fn class_distribution_is_preserved() {
+        let g = dataset();
+        let reduced = coreset(&g, &g.features, 40, CoresetMethod::Random, 1);
+        let orig_counts = g.class_counts();
+        let red_counts = reduced.graph.class_counts();
+        for c in 0..4 {
+            let orig_frac = orig_counts[c] as f64 / 200.0;
+            let red_frac = red_counts[c] as f64 / 40.0;
+            assert!((orig_frac - red_frac).abs() < 0.15, "class {c} misallocated");
+        }
+    }
+
+    #[test]
+    fn degree_picks_high_degree_nodes() {
+        let g = dataset();
+        let reduced = coreset(&g, &g.features, 12, CoresetMethod::Degree, 0);
+        // The reduced selection's mean degree (in the original graph) must
+        // exceed the graph's mean degree.
+        let mean_all =
+            g.adj.nnz() as f64 / g.num_nodes() as f64;
+        // Recover which original nodes were selected via the mapping.
+        let mut selected_degrees = Vec::new();
+        for (orig, _new, _v) in reduced.mapping.iter() {
+            selected_degrees.push(g.adj.row_cols(orig).len() as f64);
+        }
+        let mean_sel = selected_degrees.iter().sum::<f64>() / selected_degrees.len() as f64;
+        assert!(mean_sel > mean_all, "{mean_sel} <= {mean_all}");
+    }
+
+    #[test]
+    fn herding_and_kcenter_are_deterministic() {
+        let g = dataset();
+        for method in [CoresetMethod::Herding, CoresetMethod::KCenter] {
+            let a = coreset(&g, &g.features, 16, method, 0);
+            let b = coreset(&g, &g.features, 16, method, 99);
+            assert_eq!(a.mapping, b.mapping, "{} should ignore the seed", method.name());
+        }
+    }
+
+    #[test]
+    fn kcenter_spreads_selections() {
+        // On a 1-D embedding line, k-center must cover both extremes.
+        let mut g = dataset();
+        let n = g.num_nodes();
+        g.features = DMat::from_vec(n, 1, (0..n).map(|i| i as f32).collect());
+        let reduced = coreset(&g, &g.features, 8, CoresetMethod::KCenter, 0);
+        let mut positions = Vec::new();
+        for (orig, _, _) in reduced.mapping.iter() {
+            positions.push(orig as f32);
+        }
+        let spread = positions.iter().cloned().fold(f32::MIN, f32::max)
+            - positions.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread > n as f32 * 0.5, "selections clumped: spread {spread}");
+    }
+}

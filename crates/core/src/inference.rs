@@ -1,0 +1,234 @@
+//! Inductive inference — Eq. (3) (original graph) and Eq. (11) (synthetic
+//! graph + mapping).
+
+use mcond_graph::{Graph, NodeBatch};
+use mcond_gnn::{GnnModel, GraphOps};
+use mcond_linalg::DMat;
+use mcond_sparse::{Coo, Csr};
+
+/// Where inductive nodes are attached for inference.
+pub enum InferenceTarget<'a> {
+    /// Eq. (3): attach to the original training graph `T`.
+    Original(&'a Graph),
+    /// Eq. (11): attach to the synthetic graph `S` through the mapping `M`.
+    Synthetic {
+        /// The condensed graph `S` (sparsified `A'`, `X'`, `Y'`).
+        graph: &'a Graph,
+        /// The sparsified mapping `M : N x N'` (original-node rows use the
+        /// training-subgraph indexing, matching `NodeBatch::incremental`).
+        mapping: &'a Csr,
+    },
+}
+
+impl InferenceTarget<'_> {
+    /// Builds the extended `(base + n) x (base + n)` adjacency and feature
+    /// matrix for a batch of inductive nodes.
+    #[must_use]
+    pub fn attach(&self, batch: &NodeBatch) -> (Csr, DMat) {
+        match self {
+            InferenceTarget::Original(graph) => attach_to_original(graph, batch),
+            InferenceTarget::Synthetic { graph, mapping } => {
+                attach_to_synthetic(graph, mapping, batch)
+            }
+        }
+    }
+
+    /// Number of base nodes (N or N').
+    #[must_use]
+    pub fn base_nodes(&self) -> usize {
+        match self {
+            InferenceTarget::Original(graph) => graph.num_nodes(),
+            InferenceTarget::Synthetic { graph, .. } => graph.num_nodes(),
+        }
+    }
+}
+
+/// Eq. (3): block-extends the original graph with the batch's incremental
+/// adjacency and interconnections.
+///
+/// # Panics
+/// Panics when the batch indexes a different training-node count.
+#[must_use]
+pub fn attach_to_original(graph: &Graph, batch: &NodeBatch) -> (Csr, DMat) {
+    assert_eq!(
+        batch.incremental.cols(),
+        graph.num_nodes(),
+        "attach_to_original: batch was built against a different original graph"
+    );
+    let adj = graph.adj.block_extend(&batch.incremental, &batch.interconnect);
+    let x = graph.features.vstack(&batch.features);
+    (adj, x)
+}
+
+/// Eq. (11): converts the incremental adjacency through the mapping
+/// (`aM : n x N'`) and block-extends the synthetic graph.
+///
+/// # Panics
+/// Panics when the mapping's row space does not match the batch's original
+/// node indexing, or its column space the synthetic graph.
+#[must_use]
+pub fn attach_to_synthetic(graph: &Graph, mapping: &Csr, batch: &NodeBatch) -> (Csr, DMat) {
+    assert_eq!(
+        batch.incremental.cols(),
+        mapping.rows(),
+        "attach_to_synthetic: mapping rows must index the original training nodes"
+    );
+    assert_eq!(
+        mapping.cols(),
+        graph.num_nodes(),
+        "attach_to_synthetic: mapping columns must index the synthetic nodes"
+    );
+    let am = spmm_sparse(&batch.incremental, mapping);
+    let adj = graph.adj.block_extend(&am, &batch.interconnect);
+    let x = graph.features.vstack(&batch.features);
+    (adj, x)
+}
+
+/// Runs a GNN over the extended graph and returns the inductive nodes'
+/// logits (`n x C`).
+#[must_use]
+pub fn infer_inductive(model: &GnnModel, target: &InferenceTarget, batch: &NodeBatch) -> DMat {
+    let (adj, x) = target.attach(batch);
+    let ops = GraphOps::from_adj(&adj);
+    let logits = model.predict(&ops, &x);
+    logits.slice_rows(target.base_nodes(), logits.rows())
+}
+
+/// Sparse × sparse product specialised for `a · M` (tall-thin result): the
+/// left factor's rows are short and the result has few columns, so each
+/// output row is accumulated densely.
+pub(crate) fn spmm_sparse(a: &Csr, m: &Csr) -> Csr {
+    let mut coo = Coo::new(a.rows(), m.cols());
+    let mut acc = vec![0f32; m.cols()];
+    for i in 0..a.rows() {
+        acc.fill(0.0);
+        for (&k, &av) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            let k = k as usize;
+            for (&c, &mv) in m.row_cols(k).iter().zip(m.row_vals(k)) {
+                acc[c as usize] += av * mv;
+            }
+        }
+        for (j, &v) in acc.iter().enumerate() {
+            if v != 0.0 {
+                coo.push(i, j, v);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_gnn::GnnKind;
+    use mcond_graph::InductiveDataset;
+    use mcond_linalg::{approx_eq, MatRng};
+
+    /// 6-node toy: train {0,1,2} triangle; test {4,5}; val {3}.
+    fn toy() -> InductiveDataset {
+        let mut coo = Coo::new(6, 6);
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 0), (4, 1), (5, 2), (4, 5)] {
+            coo.push_sym(i, j, 1.0);
+        }
+        let features = MatRng::seed_from(0).normal(6, 3, 0.0, 1.0);
+        let g = Graph::new(coo.to_csr(), features, vec![0, 1, 0, 1, 0, 1], 2);
+        InductiveDataset::new(g, vec![0, 1, 2], vec![3], vec![4, 5])
+    }
+
+    #[test]
+    fn attach_to_original_matches_manual_block() {
+        let data = toy();
+        let orig = data.original_graph();
+        let batch = data.batch(&[4, 5], true);
+        let (adj, x) = attach_to_original(&orig, &batch);
+        assert_eq!(adj.rows(), 5);
+        assert_eq!(x.rows(), 5);
+        // test node 4 (extended row 3) connects to train node 1
+        assert_eq!(adj.get(3, 1), 1.0);
+        assert_eq!(adj.get(1, 3), 1.0);
+        // interconnection 4-5 preserved
+        assert_eq!(adj.get(3, 4), 1.0);
+    }
+
+    #[test]
+    fn attach_to_synthetic_converts_edges_through_mapping() {
+        let data = toy();
+        let batch = data.batch(&[4, 5], false);
+        // Synthetic graph with 2 nodes; map train nodes {0,1} -> syn 0 and
+        // {2} -> syn 1 with weight 0.5 / 1.0.
+        let syn = Graph::new(
+            Csr::eye(2),
+            DMat::from_rows(&[&[1., 0., 0.], &[0., 1., 0.]]),
+            vec![0, 1],
+            2,
+        );
+        let mut map = Coo::new(3, 2);
+        map.push(0, 0, 0.5);
+        map.push(1, 0, 0.5);
+        map.push(2, 1, 1.0);
+        let mapping = map.to_csr();
+        let (adj, x) = attach_to_synthetic(&syn, &mapping, &batch);
+        assert_eq!(adj.rows(), 4);
+        assert_eq!(x.rows(), 4);
+        // test node 4 connects to train node 1 => aM row = 0.5 at syn 0.
+        assert!(approx_eq(adj.get(2, 0), 0.5, 1e-6));
+        // test node 5 connects to train node 2 => 1.0 at syn 1.
+        assert!(approx_eq(adj.get(3, 1), 1.0, 1e-6));
+        // symmetric blocks present
+        assert!(approx_eq(adj.get(0, 2), 0.5, 1e-6));
+    }
+
+    #[test]
+    fn infer_inductive_returns_batch_rows_only() {
+        let data = toy();
+        let orig = data.original_graph();
+        let batch = data.batch(&[4, 5], true);
+        let model = GnnModel::new(GnnKind::Gcn, 3, 4, 2, 1);
+        let out = infer_inductive(&model, &InferenceTarget::Original(&orig), &batch);
+        assert_eq!(out.shape(), (2, 2));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn synthetic_inference_runs_for_every_architecture() {
+        let data = toy();
+        let batch = data.batch(&[4, 5], false);
+        let syn = Graph::new(
+            Csr::eye(2),
+            DMat::from_rows(&[&[1., 0., 0.], &[0., 1., 0.]]),
+            vec![0, 1],
+            2,
+        );
+        let mut map = Coo::new(3, 2);
+        for i in 0..3 {
+            map.push(i, i % 2, 1.0);
+        }
+        let mapping = map.to_csr();
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 3, 4, 2, 2);
+            let out = infer_inductive(
+                &model,
+                &InferenceTarget::Synthetic { graph: &syn, mapping: &mapping },
+                &batch,
+            );
+            assert_eq!(out.shape(), (2, 2), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn spmm_sparse_matches_dense_product() {
+        let mut a = Coo::new(2, 3);
+        a.push(0, 1, 2.0);
+        a.push(1, 2, 3.0);
+        a.push(1, 0, 1.0);
+        let a = a.to_csr();
+        let mut m = Coo::new(3, 2);
+        m.push(0, 0, 1.0);
+        m.push(1, 1, 4.0);
+        m.push(2, 0, 5.0);
+        let m = m.to_csr();
+        let product = spmm_sparse(&a, &m).to_dense();
+        let reference = a.to_dense().matmul(&m.to_dense());
+        assert_eq!(product, reference);
+    }
+}

@@ -1,0 +1,52 @@
+//! **MCond** — mapping-aware graph condensation (ICDE 2024), the paper's
+//! core contribution, plus every baseline its evaluation compares against.
+//!
+//! Given an original training graph `T = {A, X, Y}`, [`condense`] jointly
+//! learns:
+//!
+//! 1. a small synthetic graph `S = {A', X', Y'}` via gradient matching
+//!    (Eq. 4–5) with a pairwise-MLP adjacency generator (Eq. 6) and a
+//!    topology-preserving structure loss (Eq. 8–9), and
+//! 2. a sparse one-to-many **mapping matrix** `M : N x N'` (Eq. 15 init /
+//!    normalisation) trained under transductive (Eq. 10) and inductive
+//!    (Eq. 12) constraints,
+//!
+//! alternating between the two (Algorithm 1) and finishing with threshold
+//! sparsification (Eq. 14). At inference time, [`attach_to_synthetic`]
+//! implements Eq. (11): an unseen node with incremental adjacency `a` into
+//! the original nodes is wired into `S` through `aM`, so message passing
+//! runs on `N' ≪ N` nodes.
+//!
+//! Baselines: [`coreset`] (Random / Degree / Herding / K-Center) and
+//! [`vng`] (virtual node graph via weighted k-means).
+//!
+//! # Example
+//! ```no_run
+//! use mcond_core::{condense, McondConfig};
+//! use mcond_graph::{load_dataset, Scale};
+//! let data = load_dataset("pubmed", Scale::Small, 0).unwrap();
+//! let result = condense(&data, &McondConfig { ratio: 0.02, ..McondConfig::default() });
+//! println!("synthetic nodes: {}", result.synthetic.num_nodes());
+//! ```
+
+mod adjgen;
+mod artifact;
+mod condense;
+mod coreset;
+mod inference;
+mod mapping;
+mod relay;
+mod sampling;
+mod server;
+mod vng;
+
+pub use adjgen::AdjacencyGenerator;
+pub use artifact::{load_condensed, save_condensed, Artifact};
+pub use condense::{condense, CondenseHistory, Condensed, GradDistance, McondConfig};
+pub use coreset::{coreset, CoresetMethod, ReducedGraph};
+pub use inference::{attach_to_original, attach_to_synthetic, infer_inductive, InferenceTarget};
+pub use mapping::{class_correlation_of, Mapping};
+pub use relay::Relay;
+pub use sampling::sample_edge_batch;
+pub use server::InductiveServer;
+pub use vng::vng;

@@ -1,0 +1,212 @@
+//! Batch inference serving.
+//!
+//! [`infer_inductive`](crate::infer_inductive) materialises the extended
+//! graph per batch: it copies the entire base graph into a fresh CSR and
+//! re-normalises it, which is `O(‖A‖₀)` per batch — fine for one-off
+//! evaluation, wasteful for a serving loop. [`InductiveServer`] instead
+//! pre-normalises nothing and uses the lazy extended
+//! [`Propagator`](mcond_gnn::Propagator): per batch it computes only the
+//! incremental degree updates and streams the propagation through the
+//! shared base CSR, so the per-batch cost is
+//! `O(nnz(a) + nnz(ã) + forward pass)`.
+//!
+//! Results are exactly equal to the materialised path (verified by test).
+
+use mcond_gnn::{GnnModel, GraphOps};
+use mcond_graph::{Graph, NodeBatch};
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+use std::rc::Rc;
+
+/// A reusable inductive-inference endpoint over a fixed base graph
+/// (original `T` per Eq. 3, or synthetic `S` + mapping per Eq. 11).
+pub struct InductiveServer<'a> {
+    base_adj: Rc<Csr>,
+    base_features: &'a DMat,
+    mapping: Option<&'a Csr>,
+    model: &'a GnnModel,
+}
+
+impl<'a> InductiveServer<'a> {
+    /// Serves inference on the original graph (Eq. 3 attachment).
+    #[must_use]
+    pub fn on_original(graph: &'a Graph, model: &'a GnnModel) -> Self {
+        Self {
+            base_adj: Rc::new(graph.adj.clone()),
+            base_features: &graph.features,
+            mapping: None,
+            model,
+        }
+    }
+
+    /// Serves inference on the synthetic graph through the mapping
+    /// (Eq. 11 attachment).
+    ///
+    /// # Panics
+    /// Panics when the mapping's columns do not index the synthetic nodes.
+    #[must_use]
+    pub fn on_synthetic(graph: &'a Graph, mapping: &'a Csr, model: &'a GnnModel) -> Self {
+        assert_eq!(
+            mapping.cols(),
+            graph.num_nodes(),
+            "InductiveServer: mapping columns must index the synthetic nodes"
+        );
+        Self {
+            base_adj: Rc::new(graph.adj.clone()),
+            base_features: &graph.features,
+            mapping: Some(mapping),
+            model,
+        }
+    }
+
+    /// Number of base nodes.
+    #[must_use]
+    pub fn base_nodes(&self) -> usize {
+        self.base_adj.rows()
+    }
+
+    /// Logits (`n x C`) for one batch of inductive nodes.
+    ///
+    /// # Panics
+    /// Panics when the batch's incremental columns do not match the base
+    /// (original-graph serving) or the mapping rows (synthetic serving).
+    #[must_use]
+    pub fn serve(&self, batch: &NodeBatch) -> DMat {
+        let inc = match self.mapping {
+            None => {
+                assert_eq!(
+                    batch.incremental.cols(),
+                    self.base_adj.rows(),
+                    "serve: batch indexes a different base graph"
+                );
+                Rc::new(batch.incremental.clone())
+            }
+            Some(mapping) => {
+                assert_eq!(
+                    batch.incremental.cols(),
+                    mapping.rows(),
+                    "serve: batch indexes a different original graph"
+                );
+                Rc::new(crate::inference::spmm_sparse(&batch.incremental, mapping))
+            }
+        };
+        let inter = Rc::new(batch.interconnect.clone());
+        let ops = GraphOps::extended(&self.base_adj, &inc, &inter);
+        let x = self.base_features.vstack(&batch.features);
+        let logits = self.model.predict(&ops, &x);
+        logits.slice_rows(self.base_nodes(), logits.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{condense, infer_inductive, InferenceTarget, McondConfig};
+    use mcond_gnn::GnnKind;
+    use mcond_graph::{load_dataset, Scale};
+    use mcond_linalg::approx_eq;
+
+    fn setup() -> (mcond_graph::InductiveDataset, crate::Condensed, GnnModel) {
+        let data = load_dataset("pubmed", Scale::Small, 0).unwrap();
+        let condensed = condense(
+            &data,
+            &McondConfig {
+                ratio: 0.02,
+                outer_loops: 1,
+                relay_steps: 3,
+                mapping_steps: 5,
+                support_cap: 32,
+                ..McondConfig::default()
+            },
+        );
+        let model = GnnModel::new(
+            GnnKind::Gcn,
+            data.full.feature_dim(),
+            16,
+            data.full.num_classes,
+            1,
+        );
+        (data, condensed, model)
+    }
+
+    #[test]
+    fn server_matches_materialised_path_on_original() {
+        let (data, _, model) = setup();
+        let original = data.original_graph();
+        let server = InductiveServer::on_original(&original, &model);
+        for batch in data.test_batches(60, true) {
+            let lazy = server.serve(&batch);
+            let eager =
+                infer_inductive(&model, &InferenceTarget::Original(&original), &batch);
+            assert_eq!(lazy.shape(), eager.shape());
+            for (a, b) in lazy.as_slice().iter().zip(eager.as_slice()) {
+                assert!(approx_eq(*a, *b, 1e-4), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn server_matches_materialised_path_on_synthetic() {
+        let (data, condensed, model) = setup();
+        let server =
+            InductiveServer::on_synthetic(&condensed.synthetic, &condensed.mapping, &model);
+        let batch = data.test_batches(80, false).remove(0);
+        let lazy = server.serve(&batch);
+        let eager = infer_inductive(
+            &model,
+            &InferenceTarget::Synthetic {
+                graph: &condensed.synthetic,
+                mapping: &condensed.mapping,
+            },
+            &batch,
+        );
+        for (a, b) in lazy.as_slice().iter().zip(eager.as_slice()) {
+            assert!(approx_eq(*a, *b, 1e-4), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn server_agrees_for_every_architecture() {
+        let (data, condensed, _) = setup();
+        let batch = data.test_batches(40, true).remove(0);
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(
+                kind,
+                data.full.feature_dim(),
+                8,
+                data.full.num_classes,
+                2,
+            );
+            let server = InductiveServer::on_synthetic(
+                &condensed.synthetic,
+                &condensed.mapping,
+                &model,
+            );
+            let lazy = server.serve(&batch);
+            let eager = infer_inductive(
+                &model,
+                &InferenceTarget::Synthetic {
+                    graph: &condensed.synthetic,
+                    mapping: &condensed.mapping,
+                },
+                &batch,
+            );
+            for (a, b) in lazy.as_slice().iter().zip(eager.as_slice()) {
+                assert!(approx_eq(*a, *b, 1e-4), "{}: {a} vs {b}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different base graph")]
+    fn mismatched_batch_is_rejected() {
+        let (data, _, model) = setup();
+        let original = data.original_graph();
+        let server = InductiveServer::on_original(&original, &model);
+        // A batch built against the synthetic mapping's indexing of a
+        // *different* dataset.
+        let other = load_dataset("flickr", Scale::Small, 0).unwrap();
+        let bad_batch = other.test_batches(10, false).remove(0);
+        let _ = server.serve(&bad_batch);
+    }
+}

@@ -1,0 +1,253 @@
+//! The VNG baseline (Si et al., "Serving graph compression for graph neural
+//! networks", ICLR 2023): a *virtual node graph* built by plain weighted
+//! k-means over node embeddings, with the virtual adjacency reconstructed
+//! from the GNN forward pass `P̃ᵀAP̃` and an implicit one-to-one
+//! node→cluster mapping.
+//!
+//! The paper contrasts VNG's plain (class-agnostic) weighted k-means and
+//! dense virtual adjacency with MCond's learned one-to-many mapping — all
+//! three properties are reproduced here: clustering ignores labels (virtual
+//! labels come from majority vote), the mapping is one-hot per original
+//! node, and the virtual adjacency is dense.
+
+use crate::coreset::ReducedGraph;
+use mcond_graph::Graph;
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{Coo, Csr};
+
+/// Builds the virtual node graph with `n_virtual` nodes.
+///
+/// * `embeddings` — vectors clustered by degree-weighted k-means.
+///
+/// # Panics
+/// Panics when `n_virtual` is zero or exceeds the node count.
+#[must_use]
+pub fn vng(graph: &Graph, embeddings: &DMat, n_virtual: usize, seed: u64) -> ReducedGraph {
+    let degrees: Vec<f32> =
+        graph.adj.row_nnz().iter().map(|&d| (d as f32).max(1.0)).collect();
+    let mut rng = MatRng::seed_from(seed);
+
+    let members: Vec<usize> = (0..graph.num_nodes()).collect();
+    let assignment = weighted_kmeans(&members, embeddings, &degrees, n_virtual, &mut rng);
+    let k_total = n_virtual;
+
+    // Virtual labels: degree-weighted majority class per cluster.
+    let mut class_mass = vec![vec![0f32; graph.num_classes]; k_total];
+    for (i, &c) in assignment.iter().enumerate() {
+        class_mass[c][graph.labels[i]] += degrees[i];
+    }
+    let labels_virtual: Vec<usize> = class_mass
+        .iter()
+        .map(|mass| {
+            mass.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite mass"))
+                .map(|(c, _)| c)
+                .unwrap_or(0)
+        })
+        .collect();
+
+    // Weighted cluster means as virtual features.
+    let mut weight_sums = vec![0f32; k_total];
+    for (i, &c) in assignment.iter().enumerate() {
+        weight_sums[c] += degrees[i];
+    }
+    let mut features = DMat::zeros(k_total, graph.feature_dim());
+    for (i, &c) in assignment.iter().enumerate() {
+        let w = degrees[i] / weight_sums[c];
+        for (dst, v) in features.row_mut(c).iter_mut().zip(graph.features.row(i)) {
+            *dst += w * *v;
+        }
+    }
+
+    // Virtual adjacency A_v = P̃ᵀ A P̃ with P̃ the weight-normalised
+    // assignment — the forward-pass reconstruction of VNG. Dense by
+    // construction (the property the paper's Fig. 3 discussion calls out).
+    let mut adj_dense = DMat::zeros(k_total, k_total);
+    for (i, j, v) in graph.adj.iter() {
+        let (ci, cj) = (assignment[i], assignment[j]);
+        let w = (degrees[i] / weight_sums[ci]) * (degrees[j] / weight_sums[cj]);
+        let val = adj_dense.get(ci, cj) + v * w;
+        adj_dense.set(ci, cj, val);
+    }
+    let adj = Csr::from_dense(&adj_dense);
+
+    // One-to-one mapping: each original node points at its cluster.
+    let mut map = Coo::new(graph.num_nodes(), k_total);
+    for (i, &c) in assignment.iter().enumerate() {
+        map.push(i, c, 1.0);
+    }
+
+    ReducedGraph {
+        graph: Graph::new(adj, features, labels_virtual, graph.num_classes),
+        mapping: map.to_csr(),
+    }
+}
+
+/// Degree-weighted Lloyd k-means over the rows of `embeddings[members]`.
+/// Returns each member's cluster id in `0..k`; every cluster is non-empty.
+fn weighted_kmeans(
+    members: &[usize],
+    embeddings: &DMat,
+    weights: &[f32],
+    k: usize,
+    rng: &mut MatRng,
+) -> Vec<usize> {
+    let d = embeddings.cols();
+    assert!(k >= 1 && k <= members.len(), "weighted_kmeans: bad k");
+    // Init: k distinct random members as centers.
+    let seeds = rng.sample_indices(members.len(), k);
+    let mut centers: Vec<Vec<f32>> =
+        seeds.iter().map(|&s| embeddings.row(members[s]).to_vec()).collect();
+    let mut assign = vec![0usize; members.len()];
+
+    for _iter in 0..20 {
+        let mut changed = false;
+        for (pos, &m) in members.iter().enumerate() {
+            let row = embeddings.row(m);
+            let mut best = 0usize;
+            let mut best_dist = f32::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let dist: f32 =
+                    row.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            if assign[pos] != best {
+                assign[pos] = best;
+                changed = true;
+            }
+        }
+        // Recompute weighted centers; reseed empty clusters.
+        let mut sums = vec![vec![0f32; d]; k];
+        let mut mass = vec![0f32; k];
+        for (pos, &m) in members.iter().enumerate() {
+            let w = weights[m];
+            mass[assign[pos]] += w;
+            for (s, v) in sums[assign[pos]].iter_mut().zip(embeddings.row(m)) {
+                *s += w * *v;
+            }
+        }
+        for c in 0..k {
+            if mass[c] > 0.0 {
+                for s in &mut sums[c] {
+                    *s /= mass[c];
+                }
+                centers[c] = std::mem::take(&mut sums[c]);
+            } else {
+                let steal = rng.index(members.len());
+                centers[c] = embeddings.row(members[steal]).to_vec();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Guarantee non-empty clusters: move a point from the largest cluster
+    // into any empty one.
+    let mut counts = vec![0usize; k];
+    for &a in &assign {
+        counts[a] += 1;
+    }
+    for c in 0..k {
+        if counts[c] == 0 {
+            let donor = (0..members.len())
+                .max_by_key(|&pos| counts[assign[pos]])
+                .expect("non-empty member set");
+            counts[assign[donor]] -= 1;
+            assign[donor] = c;
+            counts[c] += 1;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_graph::{generate_sbm, SbmConfig};
+
+    fn dataset() -> Graph {
+        generate_sbm(&SbmConfig {
+            nodes: 150,
+            edges: 500,
+            feature_dim: 8,
+            num_classes: 3,
+            center_scale: 1.5,
+            ..SbmConfig::default()
+        })
+    }
+
+    #[test]
+    fn vng_produces_requested_size_and_full_mapping() {
+        let g = dataset();
+        let reduced = vng(&g, &g.features, 12, 0);
+        assert_eq!(reduced.graph.num_nodes(), 12);
+        assert_eq!(reduced.mapping.rows(), 150);
+        // One-to-one: every original node maps to exactly one cluster.
+        assert_eq!(reduced.mapping.nnz(), 150);
+        for i in 0..150 {
+            assert_eq!(reduced.mapping.row_cols(i).len(), 1);
+        }
+    }
+
+    #[test]
+    fn virtual_labels_are_valid_classes() {
+        let g = dataset();
+        let reduced = vng(&g, &g.features, 9, 1);
+        assert!(reduced.graph.labels.iter().all(|&y| y < 3));
+    }
+
+    #[test]
+    fn virtual_adjacency_preserves_total_edge_mass_bound() {
+        let g = dataset();
+        let reduced = vng(&g, &g.features, 10, 2);
+        let mass: f32 = reduced.graph.adj.iter().map(|(_, _, v)| v).sum();
+        assert!(mass > 0.0);
+        assert!(mass <= g.adj.nnz() as f32 + 1e-3);
+    }
+
+    #[test]
+    fn clusters_mostly_respect_well_separated_classes() {
+        // With strong feature separation, k-means clusters should be fairly
+        // class-pure (majority label agrees with most members).
+        let g = dataset();
+        let reduced = vng(&g, &g.features, 9, 3);
+        let mut agree = 0usize;
+        for (orig, cluster, _) in reduced.mapping.iter() {
+            if g.labels[orig] == reduced.graph.labels[cluster] {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / g.num_nodes() as f64 > 0.6,
+            "only {agree}/150 nodes match their cluster label"
+        );
+    }
+
+    #[test]
+    fn kmeans_clusters_are_non_empty() {
+        let g = dataset();
+        let reduced = vng(&g, &g.features, 15, 4);
+        let mut sizes = vec![0usize; 15];
+        for (_, c, _) in reduced.mapping.iter() {
+            sizes[c] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+    }
+
+    #[test]
+    fn clustering_is_class_agnostic() {
+        // Shuffled labels must not change the clustering (only the virtual
+        // labels).
+        let g = dataset();
+        let mut g2 = g.clone();
+        g2.labels.rotate_left(31);
+        let a = vng(&g, &g.features, 8, 5);
+        let b = vng(&g2, &g2.features, 8, 5);
+        assert_eq!(a.mapping, b.mapping);
+    }
+}

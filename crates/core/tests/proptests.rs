@@ -1,0 +1,126 @@
+//! Property tests of the condensation building blocks.
+
+use mcond_core::{coreset, vng, CoresetMethod, Mapping};
+use mcond_graph::{generate_sbm, SbmConfig};
+use mcond_linalg::{DMat, MatRng};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = mcond_graph::Graph> {
+    (40usize..120, 2usize..5, 1u64..30).prop_map(|(nodes, classes, seed)| {
+        generate_sbm(&SbmConfig {
+            nodes,
+            edges: nodes * 3,
+            feature_dim: 6,
+            num_classes: classes,
+            seed,
+            ..SbmConfig::default()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every coreset method returns exactly the requested node count, a
+    /// one-hot mapping, and preserves all classes.
+    #[test]
+    fn coreset_invariants(g in arb_graph(), extra in 0usize..10, seed in 0u64..5) {
+        let n_select = g.num_classes + extra;
+        for method in CoresetMethod::ALL {
+            let reduced = coreset(&g, &g.features, n_select, method, seed);
+            prop_assert_eq!(reduced.graph.num_nodes(), n_select);
+            prop_assert_eq!(reduced.mapping.nnz(), n_select);
+            prop_assert!(reduced.graph.class_counts().iter().all(|&c| c >= 1));
+            // Mapping columns are a permutation-free selection: each column
+            // has exactly one entry.
+            let mut col_counts = vec![0usize; n_select];
+            for (_, j, v) in reduced.mapping.iter() {
+                prop_assert_eq!(v, 1.0);
+                col_counts[j] += 1;
+            }
+            prop_assert!(col_counts.iter().all(|&c| c == 1));
+        }
+    }
+
+    /// VNG covers every original node exactly once and its virtual features
+    /// lie inside the convex hull (coordinate-wise bounds) of the inputs.
+    #[test]
+    fn vng_invariants(g in arb_graph(), extra in 0usize..8, seed in 0u64..5) {
+        let k = (g.num_classes + extra).min(g.num_nodes());
+        let reduced = vng(&g, &g.features, k, seed);
+        prop_assert_eq!(reduced.mapping.nnz(), g.num_nodes());
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for v in g.features.as_slice() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        for v in reduced.graph.features.as_slice() {
+            prop_assert!(*v >= lo - 1e-4 && *v <= hi + 1e-4, "feature {v} outside hull");
+        }
+    }
+
+    /// Eq. (15) normalisation: rows are non-negative and sum to ≤ 1 for any
+    /// raw mapping.
+    #[test]
+    fn mapping_normalisation_bounds(
+        rows in 1usize..12, cols in 1usize..8, seed in 0u64..50, eps in 0.0f32..0.05
+    ) {
+        let mut rng = MatRng::seed_from(seed);
+        let m = Mapping { raw: rng.normal(rows, cols, 0.0, 2.0), epsilon: eps };
+        let norm = m.normalized_detached();
+        for i in 0..rows {
+            let row_sum: f32 = norm.row(i).iter().sum();
+            prop_assert!(row_sum <= 1.0 + 1e-4, "row {i} sums to {row_sum}");
+            prop_assert!(norm.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// Larger epsilon never increases any normalised entry.
+    #[test]
+    fn epsilon_is_monotone(rows in 1usize..8, cols in 1usize..6, seed in 0u64..20) {
+        let mut rng = MatRng::seed_from(seed);
+        let raw = rng.normal(rows, cols, 0.0, 1.5);
+        let small = Mapping { raw: raw.clone(), epsilon: 1e-4 }.normalized_detached();
+        let large = Mapping { raw, epsilon: 5e-2 }.normalized_detached();
+        for (a, b) in large.as_slice().iter().zip(small.as_slice()) {
+            prop_assert!(a <= b, "{a} > {b}");
+        }
+    }
+
+    /// Class-aware init always produces a strictly diagonal-dominant
+    /// class-correlation matrix.
+    #[test]
+    fn class_init_correlation_is_diagonal_dominant(g in arb_graph()) {
+        let syn_labels: Vec<usize> = (0..g.num_classes).collect();
+        let m = Mapping::class_init(&g.labels, &syn_labels, 1e-5);
+        let corr = m.class_correlation(&g.labels, &syn_labels, g.num_classes);
+        for a in 0..g.num_classes {
+            for b in 0..g.num_classes {
+                if a != b {
+                    prop_assert!(
+                        corr.get(a, a) > corr.get(a, b),
+                        "class {a}: diagonal {} <= off {}",
+                        corr.get(a, a),
+                        corr.get(a, b)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic check outside proptest: herding on identical embeddings
+/// still returns the requested count (degenerate distance field).
+#[test]
+fn herding_handles_degenerate_embeddings() {
+    let g = generate_sbm(&SbmConfig {
+        nodes: 60,
+        edges: 150,
+        feature_dim: 4,
+        num_classes: 3,
+        ..SbmConfig::default()
+    });
+    let constant = DMat::filled(g.num_nodes(), 4, 1.0);
+    let reduced = coreset(&g, &constant, 9, CoresetMethod::Herding, 0);
+    assert_eq!(reduced.graph.num_nodes(), 9);
+}

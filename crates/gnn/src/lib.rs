@@ -1,0 +1,21 @@
+//! GNN model zoo for the MCond reproduction.
+//!
+//! All five architectures of the paper's Table IV are implemented on the
+//! `mcond-autodiff` tape: SGC (the condensation/deployment model), GCN,
+//! GraphSAGE (mean aggregator), APPNP and ChebNet. A shared [`GnnModel`]
+//! value owns the parameters; [`train`] fits it on any `(adjacency,
+//! features, labels)` triple — original or synthetic graph alike — and
+//! [`GnnModel::predict`] runs tape-free inference.
+//!
+//! [`CostMeter`] implements the paper's evaluation metrics: wall-clock
+//! inference time and the storage model `O(‖A‖₀ + (N + n)d)` of §II-B.
+
+mod metrics;
+mod model;
+mod propagator;
+mod trainer;
+
+pub use metrics::{accuracy, confusion_counts, CostMeter, InferenceCost};
+pub use model::{GnnKind, GnnModel, GraphOps};
+pub use propagator::Propagator;
+pub use trainer::{train, TrainConfig, TrainReport};

@@ -1,0 +1,146 @@
+//! Evaluation metrics and the inference cost meter.
+
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+use std::time::Instant;
+
+/// Classification accuracy of row-argmax predictions against labels.
+///
+/// # Panics
+/// Panics when lengths disagree.
+#[must_use]
+pub fn accuracy(logits: &DMat, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "accuracy: row/label mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Per-class (correct, total) counts — the raw material for confusion
+/// analyses like Fig. 5's class-correlation study.
+#[must_use]
+pub fn confusion_counts(logits: &DMat, labels: &[usize], num_classes: usize) -> Vec<(usize, usize)> {
+    let preds = logits.argmax_rows();
+    let mut counts = vec![(0usize, 0usize); num_classes];
+    for (p, &y) in preds.iter().zip(labels) {
+        counts[y].1 += 1;
+        if *p == y {
+            counts[y].0 += 1;
+        }
+    }
+    counts
+}
+
+/// Deployment cost of one inference configuration — the quantities plotted
+/// in the paper's Fig. 3 / Fig. 4.
+#[derive(Clone, Copy, Debug)]
+pub struct InferenceCost {
+    /// Wall-clock seconds for the measured closure.
+    pub seconds: f64,
+    /// Storage model of §II-B: CSR bytes of the (extended) adjacency plus
+    /// `(N + n) · d` feature bytes.
+    pub memory_bytes: usize,
+}
+
+impl InferenceCost {
+    /// Speedup of `self` relative to `baseline` (>1 means `self` is faster).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &InferenceCost) -> f64 {
+        baseline.seconds / self.seconds.max(1e-12)
+    }
+
+    /// Memory compression of `self` relative to `baseline` (>1 means `self`
+    /// is smaller).
+    #[must_use]
+    pub fn compression_vs(&self, baseline: &InferenceCost) -> f64 {
+        baseline.memory_bytes as f64 / self.memory_bytes.max(1) as f64
+    }
+}
+
+/// Measures wall time and the paper's storage model for inference runs.
+pub struct CostMeter {
+    /// Number of timed repetitions (the median is reported).
+    pub repeats: usize,
+}
+
+impl Default for CostMeter {
+    fn default() -> Self {
+        Self { repeats: 3 }
+    }
+}
+
+impl CostMeter {
+    /// Times `f` (median of `repeats` runs) and accounts the memory for an
+    /// inference over adjacency `adj` and a feature matrix with `feat_rows`
+    /// rows and `feat_dim` columns.
+    pub fn measure<T>(
+        &self,
+        adj: &Csr,
+        feat_rows: usize,
+        feat_dim: usize,
+        mut f: impl FnMut() -> T,
+    ) -> (T, InferenceCost) {
+        let mut times = Vec::with_capacity(self.repeats.max(1));
+        let mut out = None;
+        for _ in 0..self.repeats.max(1) {
+            let start = Instant::now();
+            out = Some(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cost = InferenceCost {
+            seconds: times[times.len() / 2],
+            memory_bytes: adj.storage_bytes() + feat_rows * feat_dim * std::mem::size_of::<f32>(),
+        };
+        (out.expect("at least one repetition"), cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_sparse::Coo;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = DMat::from_rows(&[&[2., 1.], &[0., 3.], &[5., 4.]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_is_zero() {
+        assert_eq!(accuracy(&DMat::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts_partition_labels() {
+        let logits = DMat::from_rows(&[&[2., 1.], &[0., 3.], &[5., 4.], &[1., 2.]]);
+        let counts = confusion_counts(&logits, &[0, 0, 1, 1], 2);
+        assert_eq!(counts[0], (1, 2));
+        assert_eq!(counts[1], (1, 2));
+    }
+
+    #[test]
+    fn cost_meter_reports_storage_model() {
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 1, 1.0);
+        let adj = coo.to_csr();
+        let meter = CostMeter { repeats: 1 };
+        let (val, cost) = meter.measure(&adj, 3, 4, || 42);
+        assert_eq!(val, 42);
+        assert_eq!(cost.memory_bytes, adj.storage_bytes() + 3 * 4 * 4);
+        assert!(cost.seconds >= 0.0);
+    }
+
+    #[test]
+    fn speedup_and_compression_ratios() {
+        let fast = InferenceCost { seconds: 0.1, memory_bytes: 100 };
+        let slow = InferenceCost { seconds: 1.0, memory_bytes: 1000 };
+        assert!((fast.speedup_vs(&slow) - 10.0).abs() < 1e-9);
+        assert!((fast.compression_vs(&slow) - 10.0).abs() < 1e-9);
+    }
+}

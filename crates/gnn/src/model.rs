@@ -1,0 +1,390 @@
+//! The five GNN architectures of the paper.
+
+use crate::propagator::Propagator;
+use mcond_autodiff::{Tape, Var};
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{row_normalize_dense, sym_normalize, Csr};
+use std::rc::Rc;
+
+/// Architecture selector (paper §IV-A and Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GnnKind {
+    /// Simplified GCN (Wu et al. 2019): `Â^K X W` — the model used for
+    /// condensation and the default deployment model.
+    Sgc,
+    /// 2-layer GCN (Kipf & Welling 2017).
+    Gcn,
+    /// GraphSAGE with mean aggregation (Hamilton et al. 2017).
+    Sage,
+    /// APPNP (Klicpera et al. 2019): MLP followed by personalised-PageRank
+    /// propagation.
+    Appnp,
+    /// ChebNet with K = 2 polynomials and the λ_max ≈ 2 approximation
+    /// (Defferrard et al. 2016).
+    Cheby,
+}
+
+impl GnnKind {
+    /// All architectures, in Table IV order (with SGC first).
+    pub const ALL: [GnnKind; 5] =
+        [GnnKind::Sgc, GnnKind::Gcn, GnnKind::Sage, GnnKind::Appnp, GnnKind::Cheby];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnKind::Sgc => "SGC",
+            GnnKind::Gcn => "GCN",
+            GnnKind::Sage => "GraphSAGE",
+            GnnKind::Appnp => "APPNP",
+            GnnKind::Cheby => "Cheby",
+        }
+    }
+}
+
+/// Precomputed propagation operators for one graph.
+///
+/// `sym` is the GCN kernel `D̃^{-1/2}(A + I)D̃^{-1/2}`; `mean` the row-
+/// stochastic `D^{-1}A` used by the SAGE mean aggregator. Either operator
+/// may be a materialised matrix or a lazily extended block operator (see
+/// [`Propagator`]); [`GnnModel::predict`] works with both, while training
+/// requires materialised operators.
+pub struct GraphOps {
+    /// Symmetric-normalised adjacency with self-loops.
+    pub sym: Propagator,
+    /// Row-normalised adjacency (no self-loops).
+    pub mean: Propagator,
+}
+
+impl GraphOps {
+    /// Builds both operators from a raw adjacency (materialised form).
+    #[must_use]
+    pub fn from_adj(adj: &Csr) -> Self {
+        let sym = Rc::new(sym_normalize(adj));
+        // Row normalisation on sparse: scale each row by 1/degree.
+        let degrees = adj.row_weighted_degrees();
+        let dense_free = {
+            // Scale values row-wise without densifying.
+            let mut coo = mcond_sparse::Coo::with_capacity(adj.rows(), adj.cols(), adj.nnz());
+            for (i, j, v) in adj.iter() {
+                let d = degrees[i];
+                if d > 0.0 {
+                    coo.push(i, j, v / d);
+                }
+            }
+            coo.to_csr()
+        };
+        let _ = row_normalize_dense; // dense variant lives in mcond-sparse for adjacency blocks
+        Self { sym: Propagator::Matrix(sym), mean: Propagator::Matrix(Rc::new(dense_free)) }
+    }
+
+    /// Builds both operators for the extended graph `[[base, incᵀ], [inc,
+    /// inter]]` **without materialising it** — per-batch inductive serving
+    /// then costs O(nnz(inc) + nnz(inter) + n) instead of copying the base
+    /// graph (see `mcond-core`'s `InductiveServer`).
+    #[must_use]
+    pub fn extended(base: &Rc<Csr>, inc: &Rc<Csr>, inter: &Rc<Csr>) -> Self {
+        Self {
+            sym: Propagator::extended_sym(Rc::clone(base), Rc::clone(inc), Rc::clone(inter)),
+            mean: Propagator::extended_mean(Rc::clone(base), Rc::clone(inc), Rc::clone(inter)),
+        }
+    }
+}
+
+/// A GNN with owned parameters.
+///
+/// The parameter list layout per architecture (weights then biases,
+/// layer-major) is an internal detail; use [`GnnModel::tape_params`] /
+/// [`GnnModel::params_mut`] to iterate.
+pub struct GnnModel {
+    kind: GnnKind,
+    params: Vec<DMat>,
+    /// Propagation depth: SGC/APPNP power steps, otherwise layer count (2).
+    pub hops: usize,
+    /// APPNP teleport probability.
+    pub alpha: f32,
+}
+
+impl GnnModel {
+    /// Initialises a model with Glorot weights and zero biases.
+    #[must_use]
+    pub fn new(kind: GnnKind, in_dim: usize, hidden: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = MatRng::seed_from(seed);
+        let params = match kind {
+            GnnKind::Sgc => vec![rng.glorot(in_dim, out_dim), DMat::zeros(1, out_dim)],
+            GnnKind::Gcn | GnnKind::Appnp => vec![
+                rng.glorot(in_dim, hidden),
+                DMat::zeros(1, hidden),
+                rng.glorot(hidden, out_dim),
+                DMat::zeros(1, out_dim),
+            ],
+            GnnKind::Sage => vec![
+                rng.glorot(in_dim, hidden),   // self
+                rng.glorot(in_dim, hidden),   // neighbour
+                DMat::zeros(1, hidden),
+                rng.glorot(hidden, out_dim),  // self
+                rng.glorot(hidden, out_dim),  // neighbour
+                DMat::zeros(1, out_dim),
+            ],
+            GnnKind::Cheby => vec![
+                rng.glorot(in_dim, hidden),   // T0
+                rng.glorot(in_dim, hidden),   // T1
+                DMat::zeros(1, hidden),
+                rng.glorot(hidden, out_dim),  // T0
+                rng.glorot(hidden, out_dim),  // T1
+                DMat::zeros(1, out_dim),
+            ],
+        };
+        Self { kind, params, hops: 2, alpha: 0.1 }
+    }
+
+    /// Architecture of this model.
+    #[must_use]
+    pub fn kind(&self) -> GnnKind {
+        self.kind
+    }
+
+    /// Mutable access to the parameters (for the optimizer), in the same
+    /// order as [`GnnModel::tape_params`].
+    pub fn params_mut(&mut self) -> &mut [DMat] {
+        &mut self.params
+    }
+
+    /// Read access to the parameters.
+    #[must_use]
+    pub fn params(&self) -> &[DMat] {
+        &self.params
+    }
+
+    /// Registers all parameters on a tape.
+    pub fn tape_params(&self, tape: &mut Tape) -> Vec<Var> {
+        self.params.iter().map(|p| tape.param(p.clone())).collect()
+    }
+
+    /// Builds the logits graph on `tape` using parameter vars `ps` (from
+    /// [`GnnModel::tape_params`]) and feature var `x`.
+    ///
+    /// # Panics
+    /// Panics if `ps` does not match the architecture's parameter count.
+    pub fn forward(&self, tape: &mut Tape, ps: &[Var], ops: &GraphOps, x: Var) -> Var {
+        assert_eq!(ps.len(), self.params.len(), "forward: wrong parameter count");
+        match self.kind {
+            GnnKind::Sgc => {
+                let mut h = x;
+                for _ in 0..self.hops {
+                    h = tape.spmm(ops.sym.csr(), h);
+                }
+                let hw = tape.matmul(h, ps[0]);
+                tape.add_row_broadcast(hw, ps[1])
+            }
+            GnnKind::Gcn => {
+                let xw = tape.matmul(x, ps[0]);
+                let h = tape.spmm(ops.sym.csr(), xw);
+                let h = tape.add_row_broadcast(h, ps[1]);
+                let h = tape.relu(h);
+                let hw = tape.matmul(h, ps[2]);
+                let out = tape.spmm(ops.sym.csr(), hw);
+                tape.add_row_broadcast(out, ps[3])
+            }
+            GnnKind::Sage => {
+                let self1 = tape.matmul(x, ps[0]);
+                let agg = tape.spmm(ops.mean.csr(), x);
+                let nbr1 = tape.matmul(agg, ps[1]);
+                let h = tape.add(self1, nbr1);
+                let h = tape.add_row_broadcast(h, ps[2]);
+                let h = tape.relu(h);
+                let self2 = tape.matmul(h, ps[3]);
+                let agg2 = tape.spmm(ops.mean.csr(), h);
+                let nbr2 = tape.matmul(agg2, ps[4]);
+                let out = tape.add(self2, nbr2);
+                tape.add_row_broadcast(out, ps[5])
+            }
+            GnnKind::Appnp => {
+                let xw = tape.matmul(x, ps[0]);
+                let h = tape.add_row_broadcast(xw, ps[1]);
+                let h = tape.relu(h);
+                let hw = tape.matmul(h, ps[2]);
+                let h0 = tape.add_row_broadcast(hw, ps[3]);
+                // Personalised PageRank: Z_{k+1} = (1-α) Â Z_k + α H₀.
+                let teleport = tape.scale(h0, self.alpha);
+                let mut z = h0;
+                for _ in 0..self.hops {
+                    let prop = tape.spmm(ops.sym.csr(), z);
+                    let damped = tape.scale(prop, 1.0 - self.alpha);
+                    z = tape.add(damped, teleport);
+                }
+                z
+            }
+            GnnKind::Cheby => {
+                // λ_max ≈ 2 gives T0 = X, T1 = L̃X = -ÂX.
+                let t1x = tape.spmm(ops.sym.csr(), x);
+                let t1x = tape.scale(t1x, -1.0);
+                let h0 = tape.matmul(x, ps[0]);
+                let h1 = tape.matmul(t1x, ps[1]);
+                let h = tape.add(h0, h1);
+                let h = tape.add_row_broadcast(h, ps[2]);
+                let h = tape.relu(h);
+                let t1h = tape.spmm(ops.sym.csr(), h);
+                let t1h = tape.scale(t1h, -1.0);
+                let o0 = tape.matmul(h, ps[3]);
+                let o1 = tape.matmul(t1h, ps[4]);
+                let out = tape.add(o0, o1);
+                tape.add_row_broadcast(out, ps[5])
+            }
+        }
+    }
+
+    /// Tape-free inference: logits for every node of `(adj, x)`.
+    ///
+    /// This is the deployment path measured by the paper's time/memory
+    /// experiments; it allocates no autodiff bookkeeping.
+    #[must_use]
+    pub fn predict(&self, ops: &GraphOps, x: &DMat) -> DMat {
+        let p = &self.params;
+        match self.kind {
+            GnnKind::Sgc => {
+                let mut h = x.clone();
+                for _ in 0..self.hops {
+                    h = ops.sym.spmm(&h);
+                }
+                h.matmul(&p[0]).add_row_broadcast(p[1].row(0))
+            }
+            GnnKind::Gcn => {
+                let h = ops.sym.spmm(&x.matmul(&p[0])).add_row_broadcast(p[1].row(0)).relu();
+                ops.sym.spmm(&h.matmul(&p[2])).add_row_broadcast(p[3].row(0))
+            }
+            GnnKind::Sage => {
+                let h = x
+                    .matmul(&p[0])
+                    .add(&ops.mean.spmm(x).matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                h.matmul(&p[3])
+                    .add(&ops.mean.spmm(&h).matmul(&p[4]))
+                    .add_row_broadcast(p[5].row(0))
+            }
+            GnnKind::Appnp => {
+                let h = x.matmul(&p[0]).add_row_broadcast(p[1].row(0)).relu();
+                let h0 = h.matmul(&p[2]).add_row_broadcast(p[3].row(0));
+                let teleport = h0.scale(self.alpha);
+                let mut z = h0;
+                for _ in 0..self.hops {
+                    z = ops.sym.spmm(&z).scale(1.0 - self.alpha).add(&teleport);
+                }
+                z
+            }
+            GnnKind::Cheby => {
+                let t1x = ops.sym.spmm(x).scale(-1.0);
+                let h = x
+                    .matmul(&p[0])
+                    .add(&t1x.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                let t1h = ops.sym.spmm(&h).scale(-1.0);
+                h.matmul(&p[3])
+                    .add(&t1h.matmul(&p[4]))
+                    .add_row_broadcast(p[5].row(0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_sparse::Coo;
+    use std::rc::Rc as StdRc;
+
+    fn ring(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push_sym(i, (i + 1) % n, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn every_architecture_produces_logits_of_right_shape() {
+        let adj = ring(6);
+        let ops = GraphOps::from_adj(&adj);
+        let x = MatRng::seed_from(1).normal(6, 4, 0.0, 1.0);
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 4, 8, 3, 7);
+            let out = model.predict(&ops, &x);
+            assert_eq!(out.shape(), (6, 3), "{}", kind.name());
+            assert!(out.as_slice().iter().all(|v| v.is_finite()), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn tape_forward_matches_predict() {
+        let adj = ring(5);
+        let ops = GraphOps::from_adj(&adj);
+        let x = MatRng::seed_from(2).normal(5, 3, 0.0, 1.0);
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 3, 6, 2, 11);
+            let mut tape = Tape::new();
+            let ps = model.tape_params(&mut tape);
+            let xv = tape.constant(x.clone());
+            let out_var = model.forward(&mut tape, &ps, &ops, xv);
+            let tape_out = tape.value(out_var).clone();
+            let direct = model.predict(&ops, &x);
+            for (a, b) in tape_out.as_slice().iter().zip(direct.as_slice()) {
+                assert!(
+                    mcond_linalg::approx_eq(*a, *b, 1e-4),
+                    "{}: {a} vs {b}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_ops_mean_rows_are_stochastic() {
+        let adj = ring(4);
+        let ops = GraphOps::from_adj(&adj);
+        let mean = ops.mean.csr();
+        for i in 0..4 {
+            let s: f32 = mean.row_vals(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        let _ = StdRc::strong_count(&mean);
+    }
+
+    #[test]
+    fn sgc_is_linear_in_features() {
+        // predict(x1 + x2) == predict(x1) + predict(x2) - bias (affine map).
+        let adj = ring(4);
+        let ops = GraphOps::from_adj(&adj);
+        let model = GnnModel::new(GnnKind::Sgc, 3, 0, 2, 3);
+        let mut rng = MatRng::seed_from(4);
+        let x1 = rng.normal(4, 3, 0.0, 1.0);
+        let x2 = rng.normal(4, 3, 0.0, 1.0);
+        let lhs = model.predict(&ops, &x1.add(&x2));
+        let bias_mat = {
+            let zero = DMat::zeros(4, 3);
+            model.predict(&ops, &zero)
+        };
+        let rhs = model.predict(&ops, &x1).add(&model.predict(&ops, &x2)).sub(&bias_mat);
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!(mcond_linalg::approx_eq(*a, *b, 1e-3), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn appnp_teleport_keeps_h0_influence() {
+        // With alpha = 1 propagation is the identity on H0.
+        let adj = ring(4);
+        let ops = GraphOps::from_adj(&adj);
+        let mut model = GnnModel::new(GnnKind::Appnp, 3, 5, 2, 5);
+        model.alpha = 1.0;
+        let x = MatRng::seed_from(6).normal(4, 3, 0.0, 1.0);
+        let out = model.predict(&ops, &x);
+        // alpha=1 => z = teleport + 0: equals H0 regardless of hops.
+        model.hops = 7;
+        let out2 = model.predict(&ops, &x);
+        for (a, b) in out.as_slice().iter().zip(out2.as_slice()) {
+            assert!(mcond_linalg::approx_eq(*a, *b, 1e-4));
+        }
+    }
+}

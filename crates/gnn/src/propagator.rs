@@ -1,0 +1,260 @@
+//! Sparse propagation operators.
+//!
+//! GNN layers only ever *multiply* by the (normalised) adjacency, so the
+//! operator does not need to be materialised. [`Propagator`] is either a
+//! materialised CSR matrix or a **lazily extended block operator**
+//!
+//! ```text
+//! [[ base, incᵀ ],
+//!  [ inc,  inter ]]
+//! ```
+//!
+//! with normalisation applied on the fly. The lazy form makes per-batch
+//! inductive inference O(nnz(inc) + nnz(inter) + n·d) instead of copying
+//! the entire base graph into a new CSR per batch (Eq. 3/11 deployments
+//! re-attach a fresh batch to the same base graph every call).
+
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+use std::rc::Rc;
+
+/// The lazy extension payload: base graph + incremental blocks +
+/// precomputed normalisation vectors.
+pub struct Extension {
+    base: Rc<Csr>,
+    inc: Rc<Csr>,
+    inter: Rc<Csr>,
+    /// Per-node scale applied before and after the raw product for the
+    /// symmetric kernel (`1/sqrt(d̃)`), or the reciprocal degree applied
+    /// after for the mean kernel. Length `base.rows() + inc.rows()`.
+    scale: Vec<f32>,
+    /// Whether a self-loop term (`+ x_i`) is part of the raw product
+    /// (symmetric GCN kernel) or not (mean kernel).
+    self_loop: bool,
+}
+
+impl Extension {
+    /// Raw block product `Ã_ext · x` (plus self-loops when configured).
+    fn raw_product(&self, x: &DMat) -> DMat {
+        let n_base = self.base.rows();
+        let x_base = x.slice_rows(0, n_base);
+        let x_new = x.slice_rows(n_base, x.rows());
+        // Top block: base·x_base + incᵀ·x_new (+ x_base).
+        let mut top = self.base.spmm(&x_base);
+        top.add_assign(&self.inc.spmm_t(&x_new));
+        // Bottom block: inc·x_base + inter·x_new (+ x_new).
+        let mut bottom = self.inc.spmm(&x_base);
+        bottom.add_assign(&self.inter.spmm(&x_new));
+        if self.self_loop {
+            top.add_assign(&x_base);
+            bottom.add_assign(&x_new);
+        }
+        top.vstack(&bottom)
+    }
+}
+
+/// A multiply-only view of a (normalised) adjacency.
+pub enum Propagator {
+    /// Materialised sparse matrix.
+    Matrix(Rc<Csr>),
+    /// Lazily extended block operator (symmetric kernel:
+    /// `D̃^{-1/2} Ã_ext D̃^{-1/2}`; mean kernel: `D^{-1} A_ext`).
+    Extended(Box<Extension>),
+}
+
+impl Propagator {
+    /// Number of rows (= columns) of the square operator.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        match self {
+            Propagator::Matrix(m) => m.rows(),
+            Propagator::Extended(e) => e.base.rows() + e.inc.rows(),
+        }
+    }
+
+    /// `self · x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn spmm(&self, x: &DMat) -> DMat {
+        match self {
+            Propagator::Matrix(m) => m.spmm(x),
+            Propagator::Extended(e) => {
+                assert_eq!(x.rows(), self.rows(), "Propagator::spmm: row mismatch");
+                if e.self_loop {
+                    // Symmetric kernel: scale, raw product, scale.
+                    let scaled = x.scale_rows(&e.scale);
+                    e.raw_product(&scaled).scale_rows(&e.scale)
+                } else {
+                    // Mean kernel: raw product, then reciprocal-degree scale.
+                    e.raw_product(x).scale_rows(&e.scale)
+                }
+            }
+        }
+    }
+
+    /// The materialised CSR handle, for recording `Tape::spmm` ops during
+    /// training.
+    ///
+    /// # Panics
+    /// Panics for extended operators — materialise the extension first
+    /// (training always runs on a fixed graph; the lazy form is an
+    /// inference-serving optimisation).
+    #[must_use]
+    pub fn csr(&self) -> Rc<Csr> {
+        match self {
+            Propagator::Matrix(m) => Rc::clone(m),
+            Propagator::Extended(_) => panic!(
+                "Propagator::csr: extended operators cannot be recorded on a tape; \
+                 materialise the extended graph for training"
+            ),
+        }
+    }
+
+    /// Builds the **symmetric GCN kernel** of the extended graph without
+    /// materialising it: `D̃^{-1/2}(Ã_ext)D̃^{-1/2}` with self-loops, where
+    /// the extension is `[[base, incᵀ], [inc, inter]]`.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block shapes.
+    #[must_use]
+    pub fn extended_sym(base: Rc<Csr>, inc: Rc<Csr>, inter: Rc<Csr>) -> Self {
+        let (n_base, n_new) = check_blocks(&base, &inc, &inter);
+        // Degrees of Ã_ext (self-loop included).
+        let mut deg = vec![1.0f32; n_base + n_new];
+        for (i, _, v) in base.iter() {
+            deg[i] += v;
+        }
+        for (bi, bj, v) in inc.iter() {
+            deg[n_base + bi] += v; // row of the bottom-left block
+            deg[bj] += v; // mirrored into the top-right block
+        }
+        for (bi, _, v) in inter.iter() {
+            deg[n_base + bi] += v;
+        }
+        let scale: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        Propagator::Extended(Box::new(Extension { base, inc, inter, scale, self_loop: true }))
+    }
+
+    /// Builds the **mean (row-stochastic) kernel** of the extended graph:
+    /// `D^{-1} A_ext`, no self-loops.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block shapes.
+    #[must_use]
+    pub fn extended_mean(base: Rc<Csr>, inc: Rc<Csr>, inter: Rc<Csr>) -> Self {
+        let (n_base, n_new) = check_blocks(&base, &inc, &inter);
+        let mut deg = vec![0.0f32; n_base + n_new];
+        for (i, _, v) in base.iter() {
+            deg[i] += v;
+        }
+        for (bi, bj, v) in inc.iter() {
+            deg[n_base + bi] += v;
+            deg[bj] += v;
+        }
+        for (bi, _, v) in inter.iter() {
+            deg[n_base + bi] += v;
+        }
+        let scale: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
+        Propagator::Extended(Box::new(Extension { base, inc, inter, scale, self_loop: false }))
+    }
+}
+
+fn check_blocks(base: &Csr, inc: &Csr, inter: &Csr) -> (usize, usize) {
+    assert_eq!(base.rows(), base.cols(), "extended: base must be square");
+    assert_eq!(inc.cols(), base.rows(), "extended: inc columns must index the base");
+    assert_eq!(inter.rows(), inc.rows(), "extended: inter rows");
+    assert_eq!(inter.cols(), inc.rows(), "extended: inter must be square");
+    (base.rows(), inc.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_linalg::{approx_eq, MatRng};
+    use mcond_sparse::{row_normalize_dense, sym_normalize, Coo};
+
+    /// base: ring of 4; two new nodes, node 0' -> base 1 (w 2.0),
+    /// node 1' -> base 3 (w 1.0); new nodes connected to each other.
+    fn blocks() -> (Rc<Csr>, Rc<Csr>, Rc<Csr>) {
+        let mut base = Coo::new(4, 4);
+        for i in 0..4 {
+            base.push_sym(i, (i + 1) % 4, 1.0);
+        }
+        let mut inc = Coo::new(2, 4);
+        inc.push(0, 1, 2.0);
+        inc.push(1, 3, 1.0);
+        let mut inter = Coo::new(2, 2);
+        inter.push_sym(0, 1, 1.0);
+        (Rc::new(base.to_csr()), Rc::new(inc.to_csr()), Rc::new(inter.to_csr()))
+    }
+
+    fn materialised(base: &Csr, inc: &Csr, inter: &Csr) -> Csr {
+        base.block_extend(inc, inter)
+    }
+
+    #[test]
+    fn extended_sym_matches_materialised_normalisation() {
+        let (base, inc, inter) = blocks();
+        let lazy = Propagator::extended_sym(Rc::clone(&base), Rc::clone(&inc), Rc::clone(&inter));
+        let dense = sym_normalize(&materialised(&base, &inc, &inter));
+        let x = MatRng::seed_from(1).normal(6, 3, 0.0, 1.0);
+        let a = lazy.spmm(&x);
+        let b = dense.spmm(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*u, *v, 1e-4), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn extended_mean_matches_materialised_normalisation() {
+        let (base, inc, inter) = blocks();
+        let lazy =
+            Propagator::extended_mean(Rc::clone(&base), Rc::clone(&inc), Rc::clone(&inter));
+        let dense_raw = materialised(&base, &inc, &inter).to_dense();
+        let dense = row_normalize_dense(&dense_raw);
+        let x = MatRng::seed_from(2).normal(6, 3, 0.0, 1.0);
+        let a = lazy.spmm(&x);
+        let b = dense.matmul(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*u, *v, 1e-4), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn empty_extension_reduces_to_base_kernel() {
+        let (base, _, _) = blocks();
+        let inc = Rc::new(Csr::empty(0, 4));
+        let inter = Rc::new(Csr::empty(0, 0));
+        let lazy = Propagator::extended_sym(Rc::clone(&base), inc, inter);
+        let direct = sym_normalize(&base);
+        let x = MatRng::seed_from(3).normal(4, 2, 0.0, 1.0);
+        let a = lazy.spmm(&x);
+        let b = direct.spmm(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*u, *v, 1e-4));
+        }
+    }
+
+    #[test]
+    fn matrix_variant_delegates() {
+        let (base, _, _) = blocks();
+        let norm = Rc::new(sym_normalize(&base));
+        let p = Propagator::Matrix(Rc::clone(&norm));
+        let x = MatRng::seed_from(4).normal(4, 2, 0.0, 1.0);
+        assert_eq!(p.spmm(&x), norm.spmm(&x));
+        assert_eq!(p.rows(), 4);
+        assert!(Rc::ptr_eq(&p.csr(), &norm));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be recorded on a tape")]
+    fn extended_csr_handle_panics() {
+        let (base, inc, inter) = blocks();
+        let lazy = Propagator::extended_sym(base, inc, inter);
+        let _ = lazy.csr();
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests of the GNN zoo: optimisation behaviour, determinism,
+//! and homophily exploitation across architectures.
+
+use mcond_gnn::{accuracy, train, GnnKind, GnnModel, GraphOps, TrainConfig};
+use mcond_graph::{generate_sbm, SbmConfig};
+
+fn hard_dataset(seed: u64) -> (GraphOps, mcond_linalg::DMat, Vec<usize>) {
+    // Features weak, structure strong: a GNN must use the graph to win.
+    let g = generate_sbm(&SbmConfig {
+        nodes: 200,
+        edges: 1200,
+        feature_dim: 12,
+        num_classes: 4,
+        homophily: 0.9,
+        center_scale: 0.25,
+        feature_noise: 1.0,
+        seed,
+        ..SbmConfig::default()
+    });
+    (GraphOps::from_adj(&g.adj), g.features.clone(), g.labels.clone())
+}
+
+#[test]
+fn propagation_beats_features_alone_when_structure_dominates() {
+    let (ops, x, y) = hard_dataset(0);
+    let cfg = TrainConfig { epochs: 120, lr: 0.05, ..TrainConfig::default() };
+
+    let mut feature_only = GnnModel::new(GnnKind::Sgc, 12, 0, 4, 0);
+    feature_only.hops = 0;
+    let r0 = train(&mut feature_only, &ops, &x, &y, &cfg, None);
+
+    let mut propagated = GnnModel::new(GnnKind::Sgc, 12, 0, 4, 0);
+    propagated.hops = 2;
+    let r2 = train(&mut propagated, &ops, &x, &y, &cfg, None);
+
+    assert!(
+        r2.train_accuracy > r0.train_accuracy + 0.05,
+        "propagation should help: {} vs {}",
+        r2.train_accuracy,
+        r0.train_accuracy
+    );
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let (ops, x, y) = hard_dataset(1);
+    let cfg = TrainConfig { epochs: 30, lr: 0.05, ..TrainConfig::default() };
+    let run = || {
+        let mut model = GnnModel::new(GnnKind::Gcn, 12, 8, 4, 42);
+        train(&mut model, &ops, &x, &y, &cfg, None);
+        model.predict(&ops, &x)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let (ops, x, y) = hard_dataset(2);
+    let cfg = TrainConfig { epochs: 10, lr: 0.05, ..TrainConfig::default() };
+    let predict_with_seed = |seed| {
+        let mut model = GnnModel::new(GnnKind::Gcn, 12, 8, 4, seed);
+        train(&mut model, &ops, &x, &y, &cfg, None);
+        model.predict(&ops, &x)
+    };
+    assert_ne!(predict_with_seed(1), predict_with_seed(2));
+}
+
+#[test]
+fn weight_decay_limits_parameter_growth() {
+    let (ops, x, y) = hard_dataset(3);
+    let norm_after = |wd: f32| {
+        let mut model = GnnModel::new(GnnKind::Sgc, 12, 0, 4, 5);
+        let cfg = TrainConfig { epochs: 150, lr: 0.05, weight_decay: wd, patience: None };
+        train(&mut model, &ops, &x, &y, &cfg, None);
+        model.params()[0].frobenius_norm()
+    };
+    assert!(norm_after(0.05) < norm_after(0.0), "weight decay should shrink weights");
+}
+
+#[test]
+fn all_architectures_fit_an_easy_dataset() {
+    let g = generate_sbm(&SbmConfig {
+        nodes: 120,
+        edges: 400,
+        feature_dim: 10,
+        num_classes: 3,
+        center_scale: 1.5,
+        feature_noise: 0.5,
+        ..SbmConfig::default()
+    });
+    let ops = GraphOps::from_adj(&g.adj);
+    for kind in GnnKind::ALL {
+        let mut model = GnnModel::new(kind, 10, 16, 3, 1);
+        let cfg = TrainConfig { epochs: 150, lr: 0.05, ..TrainConfig::default() };
+        let report = train(&mut model, &ops, &g.features, &g.labels, &cfg, None);
+        assert!(
+            report.train_accuracy > 0.85,
+            "{} underfits: {}",
+            kind.name(),
+            report.train_accuracy
+        );
+    }
+}
+
+#[test]
+fn accuracy_is_invariant_to_logit_scaling() {
+    let (ops, x, y) = hard_dataset(4);
+    let mut model = GnnModel::new(GnnKind::Sgc, 12, 0, 4, 6);
+    let cfg = TrainConfig { epochs: 40, lr: 0.05, ..TrainConfig::default() };
+    train(&mut model, &ops, &x, &y, &cfg, None);
+    let logits = model.predict(&ops, &x);
+    assert_eq!(accuracy(&logits, &y), accuracy(&logits.scale(7.3), &y));
+}
+
+#[test]
+fn losses_are_monotone_on_average() {
+    // Smoothed early losses must exceed smoothed late losses.
+    let (ops, x, y) = hard_dataset(5);
+    let mut model = GnnModel::new(GnnKind::Sage, 12, 16, 4, 7);
+    let cfg = TrainConfig { epochs: 100, lr: 0.03, ..TrainConfig::default() };
+    let report = train(&mut model, &ops, &x, &y, &cfg, None);
+    let early: f32 = report.losses[..10].iter().sum::<f32>() / 10.0;
+    let late: f32 = report.losses[report.losses.len() - 10..].iter().sum::<f32>() / 10.0;
+    assert!(late < early, "{early} -> {late}");
+}

@@ -1,0 +1,211 @@
+//! The attributed graph type.
+
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+
+/// An attributed, labelled graph `T = {A, X, Y}` (paper §II-A).
+///
+/// The adjacency is stored in CSR and is expected to be symmetric with
+/// binary weights for real datasets (the synthetic graph `S` produced by
+/// condensation is weighted).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `N x N` adjacency matrix.
+    pub adj: Csr,
+    /// `N x d` node features.
+    pub features: DMat,
+    /// Class label per node, in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes `C`.
+    pub num_classes: usize,
+}
+
+/// Summary statistics — the columns of the paper's Table I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Node count `N`.
+    pub nodes: usize,
+    /// Undirected edge count (stored directed entries / 2, self-loops count
+    /// once).
+    pub edges: usize,
+    /// Feature dimension `d`.
+    pub features: usize,
+    /// Class count `C`.
+    pub classes: usize,
+}
+
+impl Graph {
+    /// Constructs a graph, validating cross-field consistency.
+    ///
+    /// # Panics
+    /// Panics when dimensions disagree or a label is out of range.
+    #[must_use]
+    pub fn new(adj: Csr, features: DMat, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "Graph: adjacency must be square");
+        assert_eq!(adj.rows(), features.rows(), "Graph: adjacency/features mismatch");
+        assert_eq!(features.rows(), labels.len(), "Graph: features/labels mismatch");
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "Graph: label out of range (num_classes = {num_classes})"
+        );
+        Self { adj, features, labels, num_classes }
+    }
+
+    /// Number of nodes `N`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Feature dimension `d`.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Undirected edge count (half the stored directed non-zeros, counting
+    /// self-loops once).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        let self_loops = (0..self.num_nodes()).filter(|&i| self.adj.get(i, i) != 0.0).count();
+        (self.adj.nnz() - self_loops) / 2 + self_loops
+    }
+
+    /// Table-I style statistics.
+    #[must_use]
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            nodes: self.num_nodes(),
+            edges: self.num_edges(),
+            features: self.feature_dim(),
+            classes: self.num_classes,
+        }
+    }
+
+    /// Node count per class.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+
+    /// Node indices belonging to class `c`.
+    #[must_use]
+    pub fn class_members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &y)| (y == c).then_some(i))
+            .collect()
+    }
+
+    /// Edge homophily: fraction of (directed) edges whose endpoints share a
+    /// class. Returns 0 for edgeless graphs.
+    #[must_use]
+    pub fn edge_homophily(&self) -> f64 {
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for (i, j, _) in self.adj.iter() {
+            if i != j {
+                total += 1;
+                if self.labels[i] == self.labels[j] {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    /// The induced subgraph on `nodes` (relabelled to `0..nodes.len()`),
+    /// carrying features and labels along.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    #[must_use]
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
+        Graph::new(
+            self.adj.induced_subgraph(nodes),
+            self.features.select_rows(nodes),
+            nodes.iter().map(|&i| self.labels[i]).collect(),
+            self.num_classes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_sparse::Coo;
+
+    fn toy() -> Graph {
+        // Triangle 0-1-2 plus pendant 3 attached to 0; labels 0,0,1,1.
+        let mut coo = Coo::new(4, 4);
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2), (0, 3)] {
+            coo.push_sym(i, j, 1.0);
+        }
+        Graph::new(
+            coo.to_csr(),
+            DMat::from_rows(&[&[1., 0.], &[1., 0.], &[0., 1.], &[0., 1.]]),
+            vec![0, 0, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn counts_and_stats() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.feature_dim(), 2);
+        assert_eq!(
+            g.stats(),
+            GraphStats { nodes: 4, edges: 4, features: 2, classes: 2 }
+        );
+    }
+
+    #[test]
+    fn class_bookkeeping() {
+        let g = toy();
+        assert_eq!(g.class_counts(), vec![2, 2]);
+        assert_eq!(g.class_members(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn homophily_of_toy() {
+        // Same-class directed edges: (0,1),(1,0) = 2 of 8.
+        let g = toy();
+        assert!((g.edge_homophily() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_carries_attributes() {
+        let g = toy();
+        let sub = g.induced_subgraph(&[0, 2]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.labels, vec![0, 1]);
+        assert_eq!(sub.adj.get(0, 1), 1.0);
+        assert_eq!(sub.features.row(1), &[0., 1.]);
+    }
+
+    #[test]
+    fn self_loops_counted_once() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push_sym(0, 1, 1.0);
+        let g = Graph::new(coo.to_csr(), DMat::zeros(2, 1), vec![0, 0], 1);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn invalid_label_panics() {
+        let _ = Graph::new(Csr::empty(1, 1), DMat::zeros(1, 1), vec![5], 2);
+    }
+}

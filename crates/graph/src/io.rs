@@ -1,0 +1,181 @@
+//! On-disk graph format.
+//!
+//! A small self-describing binary format so real datasets (Planetoid
+//! Pubmed, GraphSAINT Flickr, GraphSAGE Reddit) can be converted once and
+//! dropped in place of the synthetic generators. Layout (little-endian):
+//!
+//! ```text
+//! magic   b"MCG1"
+//! u64     N (nodes)        u64 d (feature dim)   u64 C (classes)
+//! u64     nnz
+//! u64*N+1 CSR indptr       u32*nnz CSR cols      f32*nnz CSR vals
+//! f32*N*d features (row-major)
+//! u32*N   labels
+//! ```
+
+use crate::Graph;
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MCG1";
+
+/// Serialises a graph to `path`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_graph(graph: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    let n = graph.num_nodes();
+    let d = graph.feature_dim();
+    write_u64(&mut w, n as u64)?;
+    write_u64(&mut w, d as u64)?;
+    write_u64(&mut w, graph.num_classes as u64)?;
+    write_u64(&mut w, graph.adj.nnz() as u64)?;
+    for i in 0..=n {
+        let v = if i == 0 { 0 } else { graph.adj.row_cols(i - 1).len() as u64 };
+        // indptr reconstructed cumulatively on read; store row lengths.
+        write_u64(&mut w, v)?;
+    }
+    for i in 0..n {
+        for &c in graph.adj.row_cols(i) {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    for i in 0..n {
+        for &v in graph.adj.row_vals(i) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    for &v in graph.features.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &y in &graph.labels {
+        w.write_all(&(y as u32).to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Deserialises a graph from `path`.
+///
+/// # Errors
+/// Propagates I/O errors; malformed files yield `InvalidData`.
+pub fn load_graph(path: &Path) -> io::Result<Graph> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let d = read_u64(&mut r)? as usize;
+    let classes = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    for _ in 0..=n {
+        acc += read_u64(&mut r)?;
+        indptr.push(acc);
+    }
+    if *indptr.last().unwrap_or(&0) as usize != nnz {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "indptr/nnz mismatch"));
+    }
+    let mut cols = vec![0u32; nnz];
+    for c in &mut cols {
+        *c = read_u32(&mut r)?;
+    }
+    let mut vals = vec![0f32; nnz];
+    for v in &mut vals {
+        *v = read_f32(&mut r)?;
+    }
+    let adj = Csr::from_raw(n, n, indptr, cols, vals);
+
+    let mut feat = vec![0f32; n * d];
+    for v in &mut feat {
+        *v = read_f32(&mut r)?;
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(read_u32(&mut r)? as usize);
+    }
+    if labels.iter().any(|&y| y >= classes) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "label out of range"));
+    }
+    Ok(Graph::new(adj, DMat::from_vec(n, d, feat), labels, classes))
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbm::{generate_sbm, SbmConfig};
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 60,
+            edges: 150,
+            feature_dim: 5,
+            num_classes: 3,
+            ..SbmConfig::default()
+        });
+        let dir = std::env::temp_dir().join("mcond_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mcg");
+        save_graph(&g, &path).unwrap();
+        let loaded = load_graph(&path).unwrap();
+        assert_eq!(loaded.adj, g.adj);
+        assert_eq!(loaded.features, g.features);
+        assert_eq!(loaded.labels, g.labels);
+        assert_eq!(loaded.num_classes, g.num_classes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = std::env::temp_dir().join("mcond_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.mcg");
+        std::fs::write(&path, b"NOPE12345678").unwrap();
+        let err = load_graph(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let g = generate_sbm(&SbmConfig { nodes: 20, edges: 40, ..SbmConfig::default() });
+        let dir = std::env::temp_dir().join("mcond_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.mcg");
+        save_graph(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_graph(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,375 @@
+//! Degree-corrected, class-assortative stochastic block model with
+//! class-conditioned Gaussian features.
+//!
+//! This is the dataset *simulator* standing in for the paper's Pubmed /
+//! Flickr / Reddit downloads (see `DESIGN.md` §3). The knobs below are the
+//! properties that drive the behaviour of every algorithm under test:
+//! graph size, sparsity, degree skew, label imbalance, homophily (what GNN
+//! message passing exploits), and feature informativeness.
+
+use crate::Graph;
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{Coo, Csr};
+
+/// Configuration for [`generate_sbm`].
+#[derive(Clone, Debug)]
+pub struct SbmConfig {
+    /// Node count `N`.
+    pub nodes: usize,
+    /// Target *undirected* edge count. Duplicate draws are collapsed and
+    /// topped up in rounds, so the realised count meets or slightly
+    /// exceeds the target (unless the requested density saturates).
+    pub edges: usize,
+    /// Feature dimension `d`.
+    pub feature_dim: usize,
+    /// Class count `C`.
+    pub num_classes: usize,
+    /// Probability that an edge endpoint is drawn from the same class
+    /// (edge homophily; citation/social graphs sit around 0.7–0.9).
+    pub homophily: f64,
+    /// Pareto tail exponent for degree propensities; smaller = heavier
+    /// tail. Values around 2.5 resemble citation/social degree skew.
+    pub degree_exponent: f64,
+    /// Class-size imbalance: class `c` has mass `∝ (c + 1)^{-imbalance}`.
+    /// `0.0` gives balanced classes; Reddit-like data sits near `1.0`.
+    pub class_imbalance: f64,
+    /// Sub-communities per class. Real graphs have structure far finer than
+    /// their label partition (Reddit's 41 classes contain thousands of
+    /// topical threads); with more than one subcluster, same-class edges
+    /// prefer the same sub-community and features carry a sub-community
+    /// offset, so class-level clustering (the VNG/coreset inductive bias)
+    /// genuinely loses information. `1` disables.
+    pub subclusters_per_class: usize,
+    /// Probability that a same-class edge stays within the endpoint's
+    /// sub-community (ignored when `subclusters_per_class == 1`).
+    pub subcluster_affinity: f64,
+    /// Distance between class feature centers (signal).
+    pub center_scale: f32,
+    /// Per-node feature noise standard deviation.
+    pub feature_noise: f32,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for SbmConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            edges: 3000,
+            feature_dim: 32,
+            num_classes: 4,
+            homophily: 0.8,
+            degree_exponent: 2.5,
+            class_imbalance: 0.5,
+            subclusters_per_class: 1,
+            subcluster_affinity: 0.85,
+            center_scale: 1.0,
+            feature_noise: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates an attributed graph from the block model.
+///
+/// # Panics
+/// Panics on degenerate configs (no nodes, no classes, more classes than
+/// nodes).
+#[must_use]
+pub fn generate_sbm(cfg: &SbmConfig) -> Graph {
+    assert!(cfg.nodes > 0, "generate_sbm: need at least one node");
+    assert!(cfg.num_classes > 0, "generate_sbm: need at least one class");
+    assert!(cfg.num_classes <= cfg.nodes, "generate_sbm: more classes than nodes");
+    assert!(cfg.subclusters_per_class >= 1, "generate_sbm: need at least one subcluster");
+    let mut rng = MatRng::seed_from(cfg.seed);
+
+    let labels = sample_labels(cfg, &mut rng);
+    let subclusters = sample_subclusters(cfg, &labels, &mut rng);
+    let features = sample_features(cfg, &labels, &subclusters, &mut rng);
+    let adj = sample_edges(cfg, &labels, &subclusters, &mut rng);
+    Graph::new(adj, features, labels, cfg.num_classes)
+}
+
+/// Uniform sub-community assignment within each class. The global id of
+/// node `i`'s sub-community is `labels[i] * S + s_i`.
+fn sample_subclusters(cfg: &SbmConfig, labels: &[usize], rng: &mut MatRng) -> Vec<usize> {
+    let s = cfg.subclusters_per_class;
+    labels.iter().map(|&y| y * s + rng.index(s)).collect()
+}
+
+/// Class sizes `∝ (c + 1)^{-imbalance}`, each class non-empty, shuffled over
+/// nodes.
+fn sample_labels(cfg: &SbmConfig, rng: &mut MatRng) -> Vec<usize> {
+    let c = cfg.num_classes;
+    let weights: Vec<f64> = (0..c).map(|k| ((k + 1) as f64).powf(-cfg.class_imbalance)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| ((w / total) * cfg.nodes as f64).floor() as usize).collect();
+    // Every class keeps at least one member; distribute the remainder to the
+    // largest classes first.
+    for s in &mut sizes {
+        if *s == 0 {
+            *s = 1;
+        }
+    }
+    let mut assigned: usize = sizes.iter().sum();
+    while assigned > cfg.nodes {
+        let i = sizes.iter().enumerate().max_by_key(|&(_, &s)| s).map(|(i, _)| i).unwrap();
+        sizes[i] -= 1;
+        assigned -= 1;
+    }
+    let mut k = 0;
+    while assigned < cfg.nodes {
+        sizes[k % c] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    let mut labels = Vec::with_capacity(cfg.nodes);
+    for (class, &size) in sizes.iter().enumerate() {
+        labels.extend(std::iter::repeat_n(class, size));
+    }
+    rng.shuffle(&mut labels);
+    labels
+}
+
+/// Class centers on a Gaussian cloud, sub-community offsets of the same
+/// magnitude around each class center; node features = class center +
+/// sub-community offset + noise.
+fn sample_features(
+    cfg: &SbmConfig,
+    labels: &[usize],
+    subclusters: &[usize],
+    rng: &mut MatRng,
+) -> DMat {
+    let centers = rng.normal(cfg.num_classes, cfg.feature_dim, 0.0, cfg.center_scale);
+    let offsets = rng.normal(
+        cfg.num_classes * cfg.subclusters_per_class,
+        cfg.feature_dim,
+        0.0,
+        cfg.center_scale,
+    );
+    let mut features = rng.normal(cfg.nodes, cfg.feature_dim, 0.0, cfg.feature_noise);
+    for (i, &y) in labels.iter().enumerate() {
+        let row = features.row_mut(i);
+        for ((v, c), o) in row.iter_mut().zip(centers.row(y)).zip(offsets.row(subclusters[i])) {
+            *v += *c + *o;
+        }
+    }
+    features
+}
+
+/// Degree-corrected assortative edge sampling with sub-community affinity.
+fn sample_edges(
+    cfg: &SbmConfig,
+    labels: &[usize],
+    subclusters: &[usize],
+    rng: &mut MatRng,
+) -> Csr {
+    let n = cfg.nodes;
+    // Pareto degree propensities: w = u^{-1/(γ-1)}, clamped to bound hubs.
+    let gamma = cfg.degree_exponent.max(1.5);
+    let propensity: Vec<f64> = (0..n)
+        .map(|_| {
+            let u = f64::from(rng.unit()).max(1e-9);
+            u.powf(-1.0 / (gamma - 1.0)).min(n as f64 / 10.0)
+        })
+        .collect();
+
+    // Per-class and per-sub-community member lists with cumulative
+    // propensities for weighted draws.
+    let mut class_members: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_classes];
+    for (i, &y) in labels.iter().enumerate() {
+        class_members[y].push(i);
+    }
+    let mut sub_members: Vec<Vec<usize>> =
+        vec![Vec::new(); cfg.num_classes * cfg.subclusters_per_class];
+    for (i, &s) in subclusters.iter().enumerate() {
+        sub_members[s].push(i);
+    }
+    let cumsum_of = |members: &[usize]| -> Vec<f64> {
+        let mut acc = 0.0;
+        members
+            .iter()
+            .map(|&i| {
+                acc += propensity[i];
+                acc
+            })
+            .collect()
+    };
+    let class_cumsums: Vec<Vec<f64>> =
+        class_members.iter().map(|m| cumsum_of(m)).collect();
+    let sub_cumsums: Vec<Vec<f64>> = sub_members.iter().map(|m| cumsum_of(m)).collect();
+    let global_cumsum: Vec<f64> = {
+        let mut acc = 0.0;
+        propensity
+            .iter()
+            .map(|&w| {
+                acc += w;
+                acc
+            })
+            .collect()
+    };
+
+    let draw_weighted = |cum: &[f64], rng: &mut MatRng| -> usize {
+        let total = *cum.last().expect("non-empty cumsum");
+        let target = f64::from(rng.unit()) * total;
+        cum.partition_point(|&v| v < target).min(cum.len() - 1)
+    };
+
+    let sample_one = |rng: &mut MatRng| -> Option<(usize, usize)> {
+        let u = draw_weighted(&global_cumsum, rng);
+        let same_class = f64::from(rng.unit()) < cfg.homophily;
+        let v = if same_class || cfg.num_classes == 1 {
+            let su = subclusters[u];
+            let within_sub = cfg.subclusters_per_class > 1
+                && sub_members[su].len() > 1
+                && f64::from(rng.unit()) < cfg.subcluster_affinity;
+            if within_sub {
+                sub_members[su][draw_weighted(&sub_cumsums[su], rng)]
+            } else {
+                let c = labels[u];
+                class_members[c][draw_weighted(&class_cumsums[c], rng)]
+            }
+        } else {
+            // Rejection-sample a different class endpoint (cheap: homophily
+            // below 1 means most mass is off the diagonal classes anyway).
+            let mut v = draw_weighted(&global_cumsum, rng);
+            let mut tries = 0;
+            while labels[v] == labels[u] && tries < 16 {
+                v = draw_weighted(&global_cumsum, rng);
+                tries += 1;
+            }
+            v
+        };
+        (u != v).then_some((u, v))
+    };
+
+    // Weighted endpoint sampling collapses many duplicates on dense,
+    // hub-heavy configs; top up in rounds until the realised undirected
+    // edge count reaches the target (or the density saturates).
+    let mut coo = Coo::with_capacity(n, n, cfg.edges * 2);
+    let mut csr = Csr::empty(n, n);
+    for _round in 0..6 {
+        let realised = csr.nnz() / 2;
+        if realised >= cfg.edges {
+            break;
+        }
+        let missing = cfg.edges - realised;
+        // Slight overdraw: later rounds hit duplicates more often.
+        let draws = missing + missing / 4;
+        for _ in 0..draws {
+            if let Some((u, v)) = sample_one(rng) {
+                coo.push_sym(u, v, 1.0);
+            }
+        }
+        // Collapse multi-edges to binary weights.
+        csr = coo.to_csr().map_values(|_| 1.0);
+    }
+    csr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SbmConfig {
+        SbmConfig { nodes: 400, edges: 1200, num_classes: 4, ..SbmConfig::default() }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate_sbm(&small_cfg());
+        let b = generate_sbm(&small_cfg());
+        assert_eq!(a.adj, b.adj);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = generate_sbm(&small_cfg());
+        let b = generate_sbm(&SbmConfig { seed: 1, ..small_cfg() });
+        assert_ne!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn realised_size_is_close_to_target() {
+        // Top-up rounds overdraw slightly, so the realised count lands at
+        // or a little above the target.
+        let g = generate_sbm(&small_cfg());
+        assert_eq!(g.num_nodes(), 400);
+        let e = g.num_edges() as f64;
+        assert!((1200.0..1500.0).contains(&e), "edges {e} far from target 1200");
+    }
+
+    #[test]
+    fn homophily_is_respected() {
+        let high = generate_sbm(&SbmConfig { homophily: 0.9, ..small_cfg() });
+        let low = generate_sbm(&SbmConfig { homophily: 0.2, ..small_cfg() });
+        assert!(high.edge_homophily() > 0.7, "high: {}", high.edge_homophily());
+        assert!(
+            low.edge_homophily() < high.edge_homophily(),
+            "low {} vs high {}",
+            low.edge_homophily(),
+            high.edge_homophily()
+        );
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_binary() {
+        let g = generate_sbm(&small_cfg());
+        for (i, j, v) in g.adj.iter() {
+            assert_eq!(v, 1.0);
+            assert_eq!(g.adj.get(j, i), 1.0);
+            assert_ne!(i, j, "unexpected self-loop");
+        }
+    }
+
+    #[test]
+    fn class_imbalance_orders_class_sizes() {
+        let g = generate_sbm(&SbmConfig { class_imbalance: 1.2, ..small_cfg() });
+        let counts = g.class_counts();
+        assert!(counts[0] > counts[3], "counts {counts:?} not skewed");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn features_are_class_informative() {
+        // Nearest-class-centroid on features must beat chance comfortably.
+        let g = generate_sbm(&SbmConfig { center_scale: 1.5, ..small_cfg() });
+        let c = g.num_classes;
+        let d = g.feature_dim();
+        let mut centroids = DMat::zeros(c, d);
+        let counts = g.class_counts();
+        for (i, &y) in g.labels.iter().enumerate() {
+            for (dst, v) in centroids.row_mut(y).iter_mut().zip(g.features.row(i)) {
+                *dst += *v / counts[y] as f32;
+            }
+        }
+        let correct = (0..g.num_nodes())
+            .filter(|&i| {
+                let best = (0..c)
+                    .min_by(|&a, &b| {
+                        g.features
+                            .row_sq_dist(i, &centroids, a)
+                            .partial_cmp(&g.features.row_sq_dist(i, &centroids, b))
+                            .unwrap()
+                    })
+                    .unwrap();
+                best == g.labels[i]
+            })
+            .count();
+        let acc = correct as f64 / g.num_nodes() as f64;
+        assert!(acc > 0.6, "feature signal too weak: {acc}");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = generate_sbm(&SbmConfig { nodes: 1000, edges: 4000, ..small_cfg() });
+        let mut deg = g.adj.row_nnz();
+        deg.sort_unstable();
+        let max = *deg.last().unwrap() as f64;
+        let median = deg[deg.len() / 2] as f64;
+        assert!(max > 4.0 * median.max(1.0), "max {max} vs median {median}: no skew");
+    }
+}

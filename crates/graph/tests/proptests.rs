@@ -1,0 +1,118 @@
+//! Property tests of the dataset substrate: generator invariants and
+//! inductive-split bookkeeping under arbitrary configurations.
+
+use mcond_graph::{generate_sbm, InductiveDataset, SbmConfig};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = SbmConfig> {
+    (
+        30usize..150,        // nodes
+        1usize..5,           // classes
+        0.0f64..1.0,         // homophily
+        0.0f64..1.5,         // imbalance
+        1usize..4,           // subclusters
+        1u64..50,            // seed
+    )
+        .prop_map(|(nodes, classes, homophily, imbalance, subclusters, seed)| SbmConfig {
+            nodes,
+            edges: nodes * 3,
+            feature_dim: 8,
+            num_classes: classes,
+            homophily,
+            class_imbalance: imbalance,
+            subclusters_per_class: subclusters,
+            seed,
+            ..SbmConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_graphs_are_structurally_valid(cfg in arb_cfg()) {
+        let g = generate_sbm(&cfg);
+        prop_assert_eq!(g.num_nodes(), cfg.nodes);
+        prop_assert_eq!(g.feature_dim(), cfg.feature_dim);
+        prop_assert!(g.labels.iter().all(|&y| y < cfg.num_classes));
+        // Symmetric binary adjacency without self-loops.
+        for (i, j, v) in g.adj.iter() {
+            prop_assert_eq!(v, 1.0);
+            prop_assert_ne!(i, j);
+            prop_assert_eq!(g.adj.get(j, i), 1.0);
+        }
+        // Every class non-empty.
+        prop_assert!(g.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in arb_cfg()) {
+        let a = generate_sbm(&cfg);
+        let b = generate_sbm(&cfg);
+        prop_assert_eq!(a.adj, b.adj);
+        prop_assert_eq!(a.features, b.features);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn induced_subgraph_edge_count_never_grows(cfg in arb_cfg(), frac in 0.2f64..0.9) {
+        let g = generate_sbm(&cfg);
+        let keep: Vec<usize> = (0..g.num_nodes())
+            .filter(|i| (i * 7919 % 100) as f64 / 100.0 < frac)
+            .collect();
+        prop_assume!(keep.len() >= 2);
+        let sub = g.induced_subgraph(&keep);
+        prop_assert!(sub.num_edges() <= g.num_edges());
+        prop_assert_eq!(sub.num_nodes(), keep.len());
+    }
+
+    #[test]
+    fn inductive_batches_partition_edges(cfg in arb_cfg()) {
+        let g = generate_sbm(&cfg);
+        let n = g.num_nodes();
+        // Split: first 60% train, next 20% val, last 20% test (ids as given).
+        let train: Vec<usize> = (0..n * 6 / 10).collect();
+        let val: Vec<usize> = (n * 6 / 10..n * 8 / 10).collect();
+        let test: Vec<usize> = (n * 8 / 10..n).collect();
+        prop_assume!(!test.is_empty() && !train.is_empty());
+        let data = InductiveDataset::new(g, train.clone(), val, test.clone());
+
+        let batch = data.batch(&test, true);
+        // Every incremental edge must exist in the full graph between the
+        // right endpoints.
+        for (pos, tcol, v) in batch.incremental.iter() {
+            let full_i = test[pos];
+            let full_j = train[tcol];
+            prop_assert_eq!(data.full.adj.get(full_i, full_j), v);
+        }
+        // Interconnections are symmetric within the batch.
+        for (a, b, v) in batch.interconnect.iter() {
+            prop_assert_eq!(batch.interconnect.get(b, a), v);
+        }
+    }
+
+    #[test]
+    fn batching_is_stable_under_chunking(cfg in arb_cfg(), chunk in 1usize..20) {
+        let g = generate_sbm(&cfg);
+        let n = g.num_nodes();
+        let train: Vec<usize> = (0..n * 7 / 10).collect();
+        let test: Vec<usize> = (n * 7 / 10..n).collect();
+        prop_assume!(!test.is_empty());
+        let data = InductiveDataset::new(g, train, vec![], test.clone());
+        let batches = data.test_batches(chunk, false);
+        let total: usize = batches.iter().map(mcond_graph::NodeBatch::len).sum();
+        prop_assert_eq!(total, test.len());
+        // Labels concatenate to the test labels in order.
+        let labels: Vec<usize> =
+            batches.iter().flat_map(|b| b.labels.iter().copied()).collect();
+        let expected: Vec<usize> = test.iter().map(|&i| data.full.labels[i]).collect();
+        prop_assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn homophily_metric_is_a_probability(cfg in arb_cfg()) {
+        let g = generate_sbm(&cfg);
+        let h = g.edge_homophily();
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+}

@@ -1,0 +1,54 @@
+//! Dense linear-algebra substrate for the `mcond` workspace.
+//!
+//! The whole reproduction runs on a single dense matrix type, [`DMat`]: a
+//! row-major `f32` matrix with the handful of kernels graph neural networks
+//! need — blocked GEMM (in all transpose flavours), element-wise maps,
+//! reductions, row operations, and seeded random initialisation.
+//!
+//! Nothing here is graph-specific; sparse formats live in `mcond-sparse` and
+//! differentiation in `mcond-autodiff`.
+//!
+//! # Example
+//! ```
+//! use mcond_linalg::DMat;
+//! let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = DMat::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+mod dmat;
+mod matmul;
+mod ops;
+mod random;
+mod reduce;
+
+pub use dmat::DMat;
+pub use ops::sigmoid_scalar;
+pub use random::MatRng;
+
+/// Tolerance-based float comparison used across the workspace's tests.
+///
+/// Returns `true` when `a` and `b` are within `tol` absolutely or relatively
+/// (whichever is looser), which is the right notion for accumulated f32
+/// kernels where the error grows with the reduction length.
+#[must_use]
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-6), 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+    }
+}

@@ -1,0 +1,200 @@
+//! Dense matrix multiplication kernels.
+//!
+//! A cache-blocked triple loop in `ikj` order (the inner loop streams over
+//! contiguous rows of both the accumulator and the right-hand side, so it
+//! auto-vectorises). Transpose flavours avoid materialising transposes in
+//! the hot training loops: `a.matmul_tn(b)` computes `Aᵀ·B` and
+//! `a.matmul_nt(b)` computes `A·Bᵀ` directly from row-major storage.
+
+use crate::DMat;
+
+/// Cache block edge. 64 rows/cols of f32 keeps three blocks comfortably in
+/// L1/L2 on commodity CPUs; measured best among {32, 64, 128} in the
+/// workspace's `matmul` Criterion bench.
+const BLOCK: usize = 64;
+
+impl DMat {
+    /// `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &DMat) -> DMat {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: {}x{} · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = DMat::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let c = out.as_mut_slice();
+        for kk in (0..k).step_by(BLOCK) {
+            let k_hi = (kk + BLOCK).min(k);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for p in kk..k_hi {
+                    let av = a_row[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Panics
+    /// Panics when `self.rows() != other.rows()`.
+    #[must_use]
+    pub fn matmul_tn(&self, other: &DMat) -> DMat {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn: Aᵀ·B needs equal row counts ({} vs {})",
+            self.rows(),
+            other.rows()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = DMat::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let c = out.as_mut_slice();
+        // C[i][j] = sum_p A[p][i] * B[p][j]: stream over rows of A and B.
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    /// Panics when `self.cols() != other.cols()`.
+    #[must_use]
+    pub fn matmul_nt(&self, other: &DMat) -> DMat {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt: A·Bᵀ needs equal column counts ({} vs {})",
+            self.cols(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = DMat::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_v) in out_row.iter_mut().enumerate() {
+                let b_row = &other.as_slice()[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *out_v = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics when `v.len() != self.cols()`.
+    #[must_use]
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols(), "matvec: dimension mismatch");
+        (0..self.rows())
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, MatRng};
+
+    fn naive(a: &DMat, b: &DMat) -> DMat {
+        let mut out = DMat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &DMat, b: &DMat) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_odd_shapes() {
+        let mut rng = MatRng::seed_from(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 65, 9), (70, 70, 70)] {
+            let a = rng.uniform(m, k, -1.0, 1.0);
+            let b = rng.uniform(k, n, -1.0, 1.0);
+            assert_close(&a.matmul(&b), &naive(&a, &b));
+        }
+    }
+
+    #[test]
+    fn transpose_flavours_match_explicit_transpose() {
+        let mut rng = MatRng::seed_from(11);
+        let a = rng.uniform(13, 7, -1.0, 1.0);
+        let b = rng.uniform(13, 5, -1.0, 1.0);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b));
+        let c = rng.uniform(4, 7, -1.0, 1.0);
+        assert_close(&a.matmul_nt(&c), &a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = MatRng::seed_from(3);
+        let a = rng.uniform(6, 6, -2.0, 2.0);
+        assert_close(&a.matmul(&DMat::eye(6)), &a);
+        assert_close(&DMat::eye(6).matmul(&a), &a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_column() {
+        let a = DMat::from_rows(&[&[1., 2.], &[3., 4.]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn dimension_mismatch_panics() {
+        let _ = DMat::zeros(2, 3).matmul(&DMat::zeros(2, 3));
+    }
+}

@@ -1,0 +1,155 @@
+//! Seeded random matrix initialisation.
+//!
+//! All stochastic components in the workspace (parameter init, dataset
+//! synthesis, negative sampling, …) draw from a [`MatRng`] so every
+//! experiment is reproducible from a single `u64` seed.
+
+use crate::DMat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source for matrices and index sampling.
+pub struct MatRng {
+    rng: StdRng,
+}
+
+impl MatRng {
+    /// Creates a generator from a fixed seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A matrix with i.i.d. entries uniform in `[lo, hi)`.
+    #[must_use]
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> DMat {
+        let data = (0..rows * cols).map(|_| self.rng.gen_range(lo..hi)).collect();
+        DMat::from_vec(rows, cols, data)
+    }
+
+    /// A matrix with i.i.d. N(mean, std²) entries (Box–Muller).
+    #[must_use]
+    pub fn normal(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> DMat {
+        let data = (0..rows * cols).map(|_| mean + std * self.standard_normal()).collect();
+        DMat::from_vec(rows, cols, data)
+    }
+
+    /// Glorot/Xavier uniform initialisation for a `fan_in x fan_out` weight.
+    #[must_use]
+    pub fn glorot(&mut self, fan_in: usize, fan_out: usize) -> DMat {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform(fan_in, fan_out, -bound, bound)
+    }
+
+    /// One standard-normal draw via Box–Muller.
+    #[must_use]
+    pub fn standard_normal(&mut self) -> f32 {
+        // Box–Muller: u1 in (0, 1] so ln is finite.
+        let u1: f32 = 1.0 - self.rng.gen::<f32>();
+        let u2: f32 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "MatRng::index: empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform f32 in `[0, 1)`.
+    #[must_use]
+    pub fn unit(&mut self) -> f32 {
+        self.rng.gen()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (uniform without
+    /// replacement via partial Fisher–Yates).
+    ///
+    /// # Panics
+    /// Panics when `k > n`.
+    #[must_use]
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = MatRng::seed_from(42).uniform(4, 4, 0.0, 1.0);
+        let b = MatRng::seed_from(42).uniform(4, 4, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = MatRng::seed_from(43).uniform(4, 4, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = MatRng::seed_from(1).uniform(50, 50, -0.5, 0.5);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m = MatRng::seed_from(2).normal(100, 100, 1.0, 2.0);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        assert!((mean - 1.0).abs() < 0.05, "mean drifted: {mean}");
+        assert!((var - 4.0).abs() < 0.2, "variance drifted: {var}");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = MatRng::seed_from(3);
+        let idx = rng.sample_indices(100, 30);
+        assert_eq!(idx.len(), 30);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn glorot_bound_shrinks_with_fan() {
+        let mut rng = MatRng::seed_from(4);
+        let small = rng.glorot(4, 4);
+        let big = rng.glorot(1000, 1000);
+        let max_small = small.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let max_big = big.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max_big < max_small);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..20).collect();
+        MatRng::seed_from(5).shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

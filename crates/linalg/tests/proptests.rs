@@ -1,0 +1,91 @@
+//! Property-based tests for the dense algebra substrate.
+
+use mcond_linalg::{approx_eq, DMat};
+use proptest::prelude::*;
+
+fn arb_mat(max_dim: usize) -> impl Strategy<Value = DMat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| DMat::from_vec(r, c, data))
+    })
+}
+
+fn arb_mat_pair(max_dim: usize) -> impl Strategy<Value = (DMat, DMat)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let a = proptest::collection::vec(-10.0f32..10.0, r * c);
+        let b = proptest::collection::vec(-10.0f32..10.0, r * c);
+        (a, b).prop_map(move |(da, db)| {
+            (DMat::from_vec(r, c, da), DMat::from_vec(r, c, db))
+        })
+    })
+}
+
+fn mats_close(a: &DMat, b: &DMat, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| approx_eq(*x, *y, tol))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in arb_mat(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_commutes((a, b) in arb_mat_pair(12)) {
+        prop_assert!(mats_close(&a.add(&b), &b.add(&a), 1e-5));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips((a, b) in arb_mat_pair(12)) {
+        prop_assert!(mats_close(&a.sub(&b).add(&b), &a, 1e-3));
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in arb_mat_pair(10)) {
+        let lhs = a.add(&b).scale(3.0);
+        let rhs = a.scale(3.0).add(&b.scale(3.0));
+        prop_assert!(mats_close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in arb_mat(10)) {
+        // (A Aᵀ)ᵀ == A Aᵀ  (symmetry of Gram matrices)
+        let g = m.matmul_nt(&m);
+        prop_assert!(mats_close(&g, &g.transpose(), 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_matches_materialized(m in arb_mat(10)) {
+        let lhs = m.matmul_tn(&m);
+        let rhs = m.transpose().matmul(&m);
+        prop_assert!(mats_close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(m in arb_mat(10)) {
+        let s = m.softmax_rows();
+        for r in s.row_sums() {
+            prop_assert!(approx_eq(r, 1.0, 1e-4));
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent(m in arb_mat(12)) {
+        prop_assert_eq!(m.relu().relu(), m.relu());
+    }
+
+    #[test]
+    fn l21_norm_triangle((a, b) in arb_mat_pair(10)) {
+        let lhs = a.add(&b).l21_norm();
+        let rhs = a.l21_norm() + b.l21_norm();
+        prop_assert!(lhs <= rhs + 1e-2 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn select_rows_matches_get(m in arb_mat(8), seed in 0usize..8) {
+        let idx = vec![seed % m.rows()];
+        let s = m.select_rows(&idx);
+        prop_assert_eq!(s.row(0), m.row(idx[0]));
+    }
+}

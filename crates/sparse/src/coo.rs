@@ -1,0 +1,178 @@
+//! Coordinate-format sparse builder.
+
+use crate::Csr;
+
+/// A mutable coordinate-list sparse matrix used to build [`Csr`] matrices.
+///
+/// Duplicate `(row, col)` entries are summed during [`Coo::to_csr`], which is
+/// the convenient semantics for accumulating multi-edges and self-loops.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    /// An empty `rows x cols` builder.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// An empty builder with capacity for `nnz` entries.
+    #[must_use]
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Self { rows, cols, entries: Vec::with_capacity(nnz) }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (possibly duplicate) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    /// Panics when the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "Coo::push: ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Appends both `(i, j, v)` and `(j, i, v)` — undirected edge insertion.
+    ///
+    /// # Panics
+    /// Panics when either coordinate is out of bounds or the matrix is not
+    /// square.
+    pub fn push_sym(&mut self, i: usize, j: usize, value: f32) {
+        assert_eq!(self.rows, self.cols, "push_sym needs a square matrix");
+        self.push(i, j, value);
+        if i != j {
+            self.push(j, i, value);
+        }
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros.
+    #[must_use]
+    pub fn to_csr(&self) -> Csr {
+        // Counting sort by row, then per-row sort by column and merge dups.
+        let mut counts = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0u32; self.entries.len()];
+        let mut vals = vec![0f32; self.entries.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in &self.entries {
+            let pos = cursor[r as usize];
+            cols[pos] = c;
+            vals[pos] = v;
+            cursor[r as usize] += 1;
+        }
+
+        let mut out_indptr = Vec::with_capacity(self.rows + 1);
+        let mut out_cols = Vec::with_capacity(self.entries.len());
+        let mut out_vals = Vec::with_capacity(self.entries.len());
+        out_indptr.push(0u64);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.rows {
+            let lo = counts[r];
+            let hi = counts[r + 1];
+            scratch.clear();
+            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < scratch.len() {
+                let (c, mut v) = scratch[k];
+                k += 1;
+                while k < scratch.len() && scratch[k].0 == c {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                }
+            }
+            out_indptr.push(out_cols.len() as u64);
+        }
+        Csr::from_raw(self.rows, self.cols, out_indptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 0.0);
+        coo.push(1, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 0, -1.0); // cancels to zero
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn push_sym_inserts_both_directions_once_for_self_loop() {
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(2, 2, 5.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), 1.0);
+        assert_eq!(csr.get(1, 0), 1.0);
+        assert_eq!(csr.get(2, 2), 5.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn columns_are_sorted_within_rows() {
+        let mut coo = Coo::new(1, 5);
+        for &c in &[4, 0, 2] {
+            coo.push(0, c, 1.0);
+        }
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_cols(0), &[0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        Coo::new(1, 1).push(0, 1, 1.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Compressed-sparse-row matrices and the SpMM kernel.
+
+use crate::Coo;
+use mcond_linalg::DMat;
+
+/// An immutable CSR sparse matrix with `f32` values.
+///
+/// Row `i`'s entries live at `indptr[i]..indptr[i+1]` in `cols`/`vals`,
+/// with column indices sorted ascending and no duplicates (guaranteed by
+/// construction through [`Coo::to_csr`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols_n: usize,
+    indptr: Vec<u64>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds from raw CSR arrays. Callers must uphold the sortedness and
+    /// uniqueness invariants; prefer [`Coo::to_csr`].
+    ///
+    /// # Panics
+    /// Panics when the arrays are structurally inconsistent.
+    #[must_use]
+    pub fn from_raw(
+        rows: usize,
+        cols_n: usize,
+        indptr: Vec<u64>,
+        cols: Vec<u32>,
+        vals: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "Csr: indptr length");
+        assert_eq!(cols.len(), vals.len(), "Csr: cols/vals length mismatch");
+        assert_eq!(*indptr.last().unwrap_or(&0) as usize, cols.len(), "Csr: indptr tail");
+        debug_assert!(cols.iter().all(|&c| (c as usize) < cols_n), "Csr: column out of range");
+        Self { rows, cols_n, indptr, cols, vals }
+    }
+
+    /// An empty (all-zero) matrix.
+    #[must_use]
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self::from_raw(rows, cols, vec![0; rows + 1], Vec::new(), Vec::new())
+    }
+
+    /// The sparse identity.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let indptr = (0..=n as u64).collect();
+        let cols = (0..n as u32).collect();
+        let vals = vec![1.0; n];
+        Self::from_raw(n, n, indptr, cols, vals)
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols_n
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    #[must_use]
+    pub fn row_cols(&self, i: usize) -> &[u32] {
+        &self.cols[self.indptr[i] as usize..self.indptr[i + 1] as usize]
+    }
+
+    /// Values of row `i`, parallel to [`Csr::row_cols`].
+    #[inline]
+    #[must_use]
+    pub fn row_vals(&self, i: usize) -> &[f32] {
+        &self.vals[self.indptr[i] as usize..self.indptr[i + 1] as usize]
+    }
+
+    /// Iterator over `(row, col, value)` of all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            self.row_cols(i)
+                .iter()
+                .zip(self.row_vals(i))
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// Point lookup via binary search (O(log nnz(row))).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        let cols = self.row_cols(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => self.row_vals(i)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Out-degree (number of stored entries) of each row.
+    #[must_use]
+    pub fn row_nnz(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| (self.indptr[i + 1] - self.indptr[i]) as usize)
+            .collect()
+    }
+
+    /// Weighted degree (sum of values) of each row.
+    #[must_use]
+    pub fn row_weighted_degrees(&self) -> Vec<f32> {
+        (0..self.rows).map(|i| self.row_vals(i).iter().sum()).collect()
+    }
+
+    /// Sparse × dense product `self · rhs` — the message-passing kernel.
+    ///
+    /// # Panics
+    /// Panics when `rhs.rows() != self.cols()`.
+    #[must_use]
+    pub fn spmm(&self, rhs: &DMat) -> DMat {
+        assert_eq!(
+            rhs.rows(),
+            self.cols_n,
+            "spmm: {}x{} · {}x{}",
+            self.rows,
+            self.cols_n,
+            rhs.rows(),
+            rhs.cols()
+        );
+        let d = rhs.cols();
+        let mut out = DMat::zeros(self.rows, d);
+        for i in 0..self.rows {
+            let out_row = out.row_mut(i);
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                let src = rhs.row(c as usize);
+                for (o, s) in out_row.iter_mut().zip(src) {
+                    *o += v * *s;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose (scatter variant of
+    /// [`Csr::spmm`]); used by autodiff backward passes.
+    ///
+    /// # Panics
+    /// Panics when `rhs.rows() != self.rows()`.
+    #[must_use]
+    pub fn spmm_t(&self, rhs: &DMat) -> DMat {
+        assert_eq!(rhs.rows(), self.rows, "spmm_t: row mismatch");
+        let d = rhs.cols();
+        let mut out = DMat::zeros(self.cols_n, d);
+        for i in 0..self.rows {
+            let src = rhs.row(i);
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                let dst = out.row_mut(c as usize);
+                for (o, s) in dst.iter_mut().zip(src) {
+                    *o += v * *s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialises the matrix densely (tests and small synthetic graphs).
+    #[must_use]
+    pub fn to_dense(&self) -> DMat {
+        let mut out = DMat::zeros(self.rows, self.cols_n);
+        for (i, j, v) in self.iter() {
+            out.set(i, j, v);
+        }
+        out
+    }
+
+    /// Converts a dense matrix to CSR, keeping entries with `|v| > 0`.
+    #[must_use]
+    pub fn from_dense(m: &DMat) -> Self {
+        let mut coo = Coo::with_capacity(m.rows(), m.cols(), m.count_above(0.0));
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Materialised transpose in CSR form.
+    #[must_use]
+    pub fn transpose(&self) -> Csr {
+        let mut coo = Coo::with_capacity(self.cols_n, self.rows, self.nnz());
+        for (i, j, v) in self.iter() {
+            coo.push(j, i, v);
+        }
+        coo.to_csr()
+    }
+
+    /// Extracts the sub-matrix of the given rows (in order), keeping all
+    /// columns.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    #[must_use]
+    pub fn select_rows(&self, indices: &[usize]) -> Csr {
+        let mut indptr = Vec::with_capacity(indices.len() + 1);
+        indptr.push(0u64);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for &i in indices {
+            assert!(i < self.rows, "select_rows: {i} out of bounds");
+            cols.extend_from_slice(self.row_cols(i));
+            vals.extend_from_slice(self.row_vals(i));
+            indptr.push(cols.len() as u64);
+        }
+        Csr::from_raw(indices.len(), self.cols_n, indptr, cols, vals)
+    }
+
+    /// Induced subgraph: keeps rows and columns in `nodes`, relabelling them
+    /// to `0..nodes.len()` in order. `nodes` must be duplicate-free.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    #[must_use]
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Csr {
+        let mut relabel = vec![u32::MAX; self.cols_n];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(old < self.rows, "induced_subgraph: {old} out of bounds");
+            relabel[old] = new as u32;
+        }
+        let mut coo = Coo::new(nodes.len(), nodes.len());
+        for (new_i, &old_i) in nodes.iter().enumerate() {
+            for (&c, &v) in self.row_cols(old_i).iter().zip(self.row_vals(old_i)) {
+                let new_j = relabel[c as usize];
+                if new_j != u32::MAX {
+                    coo.push(new_i, new_j as usize, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// A copy with `f` applied to every stored value; entries mapped to zero
+    /// are kept structurally (use sparsification to drop them).
+    #[must_use]
+    pub fn map_values(&self, f: impl Fn(f32) -> f32) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.vals {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Bytes needed to store the matrix (indptr + cols + vals) — the storage
+    /// model used by the paper's memory comparisons.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<u64>()
+            + self.cols.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Block matrix `[[self, bᵀ], [b, c]]` where `b : n x rows(self)` is the
+    /// incremental adjacency of `n` new nodes and `c : n x n` their
+    /// interconnections — Eq. (3)/(11) of the paper.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or when `self` is not square.
+    #[must_use]
+    pub fn block_extend(&self, b: &Csr, c: &Csr) -> Csr {
+        assert_eq!(self.rows, self.cols_n, "block_extend: base must be square");
+        assert_eq!(b.cols(), self.rows, "block_extend: incremental column count");
+        assert_eq!(c.rows(), b.rows(), "block_extend: corner row count");
+        assert_eq!(c.cols(), b.rows(), "block_extend: corner must be square");
+        let n_new = b.rows();
+        let total = self.rows + n_new;
+        let mut coo = Coo::with_capacity(total, total, self.nnz() + 2 * b.nnz() + c.nnz());
+        for (i, j, v) in self.iter() {
+            coo.push(i, j, v);
+        }
+        for (i, j, v) in b.iter() {
+            coo.push(self.rows + i, j, v);
+            coo.push(j, self.rows + i, v);
+        }
+        for (i, j, v) in c.iter() {
+            coo.push(self.rows + i, self.rows + j, v);
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [[0, 1, 0], [2, 0, 3], [0, 0, 4]]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 2, 3.0);
+        coo.push(2, 2, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let m = small();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_cols(1), &[0, 2]);
+        assert_eq!(m.row_vals(1), &[2.0, 3.0]);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.row_nnz(), vec![1, 2, 1]);
+        assert_eq!(m.row_weighted_degrees(), vec![1.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = small();
+        let x = DMat::from_rows(&[&[1., 2.], &[3., 4.], &[5., 6.]]);
+        let sparse = m.spmm(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn spmm_t_matches_transpose_spmm() {
+        let m = small();
+        let x = DMat::from_rows(&[&[1., 0.], &[0., 1.], &[1., 1.]]);
+        assert_eq!(m.spmm_t(&x), m.transpose().spmm(&x));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = small();
+        assert_eq!(Csr::from_dense(&m.to_dense()), m);
+    }
+
+    #[test]
+    fn select_rows_keeps_rows() {
+        let m = small();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.get(0, 2), 4.0);
+        assert_eq!(s.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let m = small();
+        let s = m.induced_subgraph(&[1, 2]);
+        assert_eq!(s.rows(), 2);
+        // original (1,2,3.0) -> (0,1); (2,2,4.0) -> (1,1); (1,0) dropped.
+        assert_eq!(s.get(0, 1), 3.0);
+        assert_eq!(s.get(1, 1), 4.0);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn block_extend_builds_eq3_layout() {
+        let a = Csr::eye(2);
+        // one new node connected to original node 1 with weight 0.5
+        let mut b = Coo::new(1, 2);
+        b.push(0, 1, 0.5);
+        let ext = a.block_extend(&b.to_csr(), &Csr::empty(1, 1));
+        assert_eq!(ext.rows(), 3);
+        assert_eq!(ext.get(2, 1), 0.5);
+        assert_eq!(ext.get(1, 2), 0.5);
+        assert_eq!(ext.get(0, 0), 1.0);
+        assert_eq!(ext.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn storage_bytes_counts_arrays() {
+        let m = small();
+        assert_eq!(m.storage_bytes(), 4 * 8 + 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn eye_is_identity_under_spmm() {
+        let x = DMat::from_rows(&[&[1., 2.], &[3., 4.]]);
+        assert_eq!(Csr::eye(2).spmm(&x), x);
+    }
+}

@@ -1,0 +1,143 @@
+//! On-disk CSR format (`MCS1`, little-endian):
+//!
+//! ```text
+//! magic  b"MCS1"
+//! u64    rows    u64 cols    u64 nnz
+//! u64*rows  row lengths (indptr deltas)
+//! u32*nnz   column indices
+//! f32*nnz   values
+//! ```
+
+use crate::Csr;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MCS1";
+
+/// Serialises a CSR matrix to `path`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_csr(m: &Csr, path: &Path) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    w.write_all(&(m.nnz() as u64).to_le_bytes())?;
+    for i in 0..m.rows() {
+        w.write_all(&(m.row_cols(i).len() as u64).to_le_bytes())?;
+    }
+    for i in 0..m.rows() {
+        for &c in m.row_cols(i) {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    for i in 0..m.rows() {
+        for &v in m.row_vals(i) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Deserialises a CSR matrix from `path`.
+///
+/// # Errors
+/// Propagates I/O errors; malformed files yield `InvalidData`.
+pub fn load_csr(path: &Path) -> io::Result<Csr> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad MCS1 magic"));
+    }
+    let rows = read_u64(&mut r)? as usize;
+    let cols_n = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    let mut indptr = Vec::with_capacity(rows + 1);
+    indptr.push(0u64);
+    let mut acc = 0u64;
+    for _ in 0..rows {
+        acc += read_u64(&mut r)?;
+        indptr.push(acc);
+    }
+    if acc as usize != nnz {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "row lengths != nnz"));
+    }
+    let mut cols = vec![0u32; nnz];
+    for c in &mut cols {
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf)?;
+        *c = u32::from_le_bytes(buf);
+        if *c as usize >= cols_n {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "column out of range"));
+        }
+    }
+    let mut vals = vec![0f32; nnz];
+    for v in &mut vals {
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(Csr::from_raw(rows, cols_n, indptr, cols, vals))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        let mut coo = Coo::new(5, 7);
+        coo.push(0, 6, 1.5);
+        coo.push(2, 0, -2.0);
+        coo.push(2, 3, 0.25);
+        coo.push(4, 1, 9.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let path = std::env::temp_dir().join("mcond_csr_roundtrip.mcs");
+        save_csr(&m, &path).unwrap();
+        let loaded = load_csr(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, m);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let m = Csr::empty(3, 4);
+        let path = std::env::temp_dir().join("mcond_csr_empty.mcs");
+        save_csr(&m, &path).unwrap();
+        let loaded = load_csr(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, m);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = std::env::temp_dir().join("mcond_csr_bad.mcs");
+        std::fs::write(&path, b"XXXX0123456789abcdef01234567").unwrap();
+        assert!(load_csr(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = sample();
+        let path = std::env::temp_dir().join("mcond_csr_trunc.mcs");
+        save_csr(&m, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_csr(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,165 @@
+//! Graph normalisations.
+//!
+//! GCN-style symmetric normalisation (Eq. 1 of the paper):
+//! `Â = D̃^{-1/2} Ã D̃^{-1/2}` where `Ã = A + I` and `D̃` its degree matrix.
+//! Row normalisation `D^{-1} A` is used for incremental adjacencies where
+//! the new nodes have no self-loop in the base graph.
+
+use crate::{Coo, Csr};
+use mcond_linalg::DMat;
+
+/// Symmetric GCN normalisation with self-loops: `D̃^{-1/2} (A + I) D̃^{-1/2}`.
+///
+/// Isolated nodes (zero degree even after the self-loop would be impossible,
+/// but defensively) get zero rows rather than NaNs.
+///
+/// # Panics
+/// Panics when `adj` is not square.
+#[must_use]
+pub fn sym_normalize(adj: &Csr) -> Csr {
+    assert_eq!(adj.rows(), adj.cols(), "sym_normalize: adjacency must be square");
+    let n = adj.rows();
+    // Degrees of Ã = A + I.
+    let mut deg = vec![1.0f32; n]; // self-loop contributes 1
+    for (i, _, v) in adj.iter() {
+        deg[i] += v;
+    }
+    let inv_sqrt: Vec<f32> =
+        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let mut coo = Coo::with_capacity(n, n, adj.nnz() + n);
+    for (i, j, v) in adj.iter() {
+        coo.push(i, j, v * inv_sqrt[i] * inv_sqrt[j]);
+    }
+    for (i, &s) in inv_sqrt.iter().enumerate() {
+        coo.push(i, i, s * s);
+    }
+    coo.to_csr()
+}
+
+/// Symmetric GCN normalisation of a dense (synthetic) adjacency: adds the
+/// self-loop, then scales by `D̃^{-1/2}` on both sides. Used for the learned
+/// `A'` which is dense during training.
+///
+/// # Panics
+/// Panics when `adj` is not square.
+#[must_use]
+pub fn sym_normalize_dense(adj: &DMat) -> DMat {
+    assert_eq!(adj.rows(), adj.cols(), "sym_normalize_dense: adjacency must be square");
+    let n = adj.rows();
+    let mut tilde = adj.clone();
+    for i in 0..n {
+        let v = tilde.get(i, i) + 1.0;
+        tilde.set(i, i, v);
+    }
+    let deg = tilde.row_sums();
+    let inv_sqrt: Vec<f32> =
+        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let mut out = tilde;
+    for i in 0..n {
+        let si = inv_sqrt[i];
+        for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+            *v *= si * inv_sqrt[j];
+        }
+    }
+    out
+}
+
+/// Row (random-walk) normalisation of a dense matrix: `D^{-1} A` with
+/// zero rows preserved. Used for `aM` blocks where new nodes aggregate from
+/// synthetic neighbours.
+#[must_use]
+pub fn row_normalize_dense(m: &DMat) -> DMat {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let s: f32 = row.iter().sum();
+        if s != 0.0 {
+            for v in row {
+                *v /= s;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_linalg::approx_eq;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_sym(i, i + 1, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn sym_normalize_matches_dense_reference() {
+        let g = path_graph(4);
+        let sparse = sym_normalize(&g).to_dense();
+        let dense = sym_normalize_dense(&g.to_dense());
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!(approx_eq(*a, *b, 1e-5), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sym_normalize_is_symmetric() {
+        let g = path_graph(5);
+        let norm = sym_normalize(&g);
+        let dense = norm.to_dense();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(approx_eq(dense.get(i, j), dense.get(j, i), 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn sym_normalize_isolated_node_gets_unit_self_loop() {
+        // node 2 is isolated; Ã gives it degree 1 so Â[2][2] = 1.
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 1, 1.0);
+        let norm = sym_normalize(&coo.to_csr());
+        assert!(approx_eq(norm.get(2, 2), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn sym_normalize_two_regular_values() {
+        // Two connected nodes: Ã = [[1,1],[1,1]], deg = 2, Â = all 0.5.
+        let mut coo = Coo::new(2, 2);
+        coo.push_sym(0, 1, 1.0);
+        let norm = sym_normalize(&coo.to_csr()).to_dense();
+        for v in norm.as_slice() {
+            assert!(approx_eq(*v, 0.5, 1e-6));
+        }
+    }
+
+    #[test]
+    fn row_normalize_preserves_zero_rows_and_makes_distributions() {
+        let m = DMat::from_rows(&[&[2., 2., 0.], &[0., 0., 0.], &[1., 1., 2.]]);
+        let r = row_normalize_dense(&m);
+        assert!(approx_eq(r.row(0).iter().sum::<f32>(), 1.0, 1e-6));
+        assert_eq!(r.row(1), &[0., 0., 0.]);
+        assert!(approx_eq(r.get(2, 2), 0.5, 1e-6));
+    }
+
+    #[test]
+    fn spectral_radius_of_normalized_adjacency_is_bounded() {
+        // Power iteration on Â of a path graph: eigenvalues lie in [-1, 1].
+        let g = path_graph(8);
+        let norm = sym_normalize(&g);
+        let mut v = DMat::filled(8, 1, 1.0);
+        for _ in 0..50 {
+            v = norm.spmm(&v);
+            let n = v.frobenius_norm();
+            if n > 0.0 {
+                v.scale_assign(1.0 / n);
+            }
+        }
+        let rayleigh = v.transpose().matmul(&norm.spmm(&v)).get(0, 0);
+        assert!(rayleigh <= 1.0 + 1e-4, "spectral radius {rayleigh} > 1");
+    }
+}

@@ -1,0 +1,103 @@
+//! Threshold sparsification — Eq. (14) of the paper.
+//!
+//! After training, the dense learned matrices `A'` and `M` are thresholded:
+//! entries below `µ` (for `A'`) or `δ` (for `M`) are zeroed, and the result
+//! is stored in CSR. This trades accuracy for storage/inference speed —
+//! swept in the Fig. 6 experiment.
+
+use crate::Csr;
+use mcond_linalg::DMat;
+
+/// Outcome of a sparsification pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SparsifyStats {
+    /// Entries kept (≥ threshold).
+    pub kept: usize,
+    /// Entries dropped (< threshold, including pre-existing zeros).
+    pub dropped: usize,
+    /// Fraction of entries kept, in `[0, 1]`.
+    pub density: f64,
+    /// CSR storage footprint of the kept entries, in bytes.
+    pub storage_bytes: usize,
+}
+
+impl SparsifyStats {
+    /// `1 - density`: fraction of entries zeroed.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density
+    }
+}
+
+/// Applies Eq. (14): keeps entries with `v >= threshold`, zeroes the rest,
+/// and returns the CSR result with accounting.
+///
+/// Thresholding is one-sided (values are non-negative in both `A'` — a
+/// sigmoid output — and the normalised `M`), matching the paper.
+#[must_use]
+pub fn sparsify_dense(m: &DMat, threshold: f32) -> (Csr, SparsifyStats) {
+    let mut coo = crate::Coo::new(m.rows(), m.cols());
+    let mut kept = 0usize;
+    for i in 0..m.rows() {
+        for (j, &v) in m.row(i).iter().enumerate() {
+            if v >= threshold && v != 0.0 {
+                coo.push(i, j, v);
+                kept += 1;
+            }
+        }
+    }
+    let csr = coo.to_csr();
+    let total = m.len();
+    let stats = SparsifyStats {
+        kept,
+        dropped: total - kept,
+        density: if total == 0 { 0.0 } else { kept as f64 / total as f64 },
+        storage_bytes: csr.storage_bytes(),
+    };
+    (csr, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_keeps_only_large_entries() {
+        let m = DMat::from_rows(&[&[0.1, 0.6], &[0.5, 0.05]]);
+        let (csr, stats) = sparsify_dense(&m, 0.5);
+        assert_eq!(stats.kept, 2);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(csr.get(0, 1), 0.6);
+        assert_eq!(csr.get(1, 0), 0.5);
+        assert_eq!(csr.get(0, 0), 0.0);
+        assert!((stats.density - 0.5).abs() < 1e-12);
+        assert!((stats.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_all_nonzeros() {
+        let m = DMat::from_rows(&[&[0.0, 0.2], &[0.3, 0.0]]);
+        let (csr, stats) = sparsify_dense(&m, 0.0);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(stats.kept, 2);
+    }
+
+    #[test]
+    fn sparsification_is_monotone_in_threshold() {
+        let m = DMat::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6]]);
+        let mut prev = usize::MAX;
+        for t in [0.0, 0.15, 0.35, 0.55, 0.9] {
+            let (_, stats) = sparsify_dense(&m, t);
+            assert!(stats.kept <= prev, "kept should be non-increasing in threshold");
+            prev = stats.kept;
+        }
+    }
+
+    #[test]
+    fn storage_shrinks_with_threshold() {
+        let m = DMat::from_rows(&[&[0.1, 0.9], &[0.9, 0.1]]);
+        let (_, loose) = sparsify_dense(&m, 0.0);
+        let (_, tight) = sparsify_dense(&m, 0.5);
+        assert!(tight.storage_bytes < loose.storage_bytes);
+    }
+}

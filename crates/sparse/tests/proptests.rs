@@ -1,0 +1,113 @@
+//! Property tests: sparse algebra must agree with the dense reference.
+
+use mcond_linalg::{approx_eq, DMat};
+use mcond_sparse::{row_normalize_dense, sparsify_dense, sym_normalize, Coo, Csr};
+use proptest::prelude::*;
+
+/// Random sparse square matrix as (n, entries).
+fn arb_sparse(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f32)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -5.0f32..5.0);
+        proptest::collection::vec(entry, 0..n * 3)
+            .prop_map(move |entries| (n, entries))
+    })
+}
+
+fn build(n: usize, entries: &[(usize, usize, f32)]) -> Csr {
+    let mut coo = Coo::new(n, n);
+    for &(i, j, v) in entries {
+        coo.push(i, j, v);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #[test]
+    fn spmm_equals_dense_matmul((n, entries) in arb_sparse(12)) {
+        let csr = build(n, &entries);
+        let x = DMat::from_vec(n, 3, (0..n * 3).map(|i| (i % 7) as f32 - 3.0).collect());
+        let sparse = csr.spmm(&x);
+        let dense = csr.to_dense().matmul(&x);
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert!(approx_eq(*a, *b, 1e-3), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn dense_round_trip((n, entries) in arb_sparse(10)) {
+        let csr = build(n, &entries);
+        prop_assert_eq!(Csr::from_dense(&csr.to_dense()), csr);
+    }
+
+    #[test]
+    fn transpose_involutive((n, entries) in arb_sparse(10)) {
+        let csr = build(n, &entries);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn spmm_t_is_transpose_spmm((n, entries) in arb_sparse(10)) {
+        let csr = build(n, &entries);
+        let x = DMat::from_vec(n, 2, (0..n * 2).map(|i| i as f32 * 0.1).collect());
+        let a = csr.spmm_t(&x);
+        let b = csr.transpose().spmm(&x);
+        for (x1, x2) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!(approx_eq(*x1, *x2, 1e-3));
+        }
+    }
+
+    #[test]
+    fn sym_normalize_rows_bounded((n, entries) in arb_sparse(10)) {
+        // Use |v| so weights are non-negative like real graphs.
+        let mut coo = Coo::new(n, n);
+        for &(i, j, v) in &entries {
+            if i != j {
+                coo.push_sym(i, j, v.abs());
+            }
+        }
+        let norm = sym_normalize(&coo.to_csr());
+        // Every value of D^-1/2 Ã D^-1/2 lies in [0, 1].
+        for (_, _, v) in norm.iter() {
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "out of range: {}", v);
+        }
+    }
+
+    #[test]
+    fn sparsify_never_keeps_below_threshold(
+        rows in 1usize..8, cols in 1usize..8, t in 0.0f32..1.0,
+        seed in proptest::collection::vec(0.0f32..1.0, 64)
+    ) {
+        let m = DMat::from_vec(rows, cols, seed[..rows * cols].to_vec());
+        let (csr, stats) = sparsify_dense(&m, t);
+        for (_, _, v) in csr.iter() {
+            prop_assert!(v >= t);
+        }
+        prop_assert_eq!(stats.kept + stats.dropped, rows * cols);
+        prop_assert_eq!(csr.nnz(), stats.kept);
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one_or_zero(
+        rows in 1usize..6, cols in 1usize..6,
+        seed in proptest::collection::vec(0.0f32..1.0, 36)
+    ) {
+        let m = DMat::from_vec(rows, cols, seed[..rows * cols].to_vec());
+        let r = row_normalize_dense(&m);
+        for i in 0..rows {
+            let s: f32 = r.row(i).iter().sum();
+            prop_assert!(approx_eq(s, 1.0, 1e-4) || approx_eq(s, 0.0, 1e-6));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_entries_match((n, entries) in arb_sparse(10)) {
+        let csr = build(n, &entries);
+        let keep: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = csr.induced_subgraph(&keep);
+        for (si, &oi) in keep.iter().enumerate() {
+            for (sj, &oj) in keep.iter().enumerate() {
+                prop_assert_eq!(sub.get(si, sj), csr.get(oi, oj));
+            }
+        }
+    }
+}

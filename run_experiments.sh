@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at the given scale.
+set -u
+SCALE="${1:-small}"
+REPEATS="${2:-3}"
+OUT="results"
+mkdir -p "$OUT"
+# Build once so BIN_DIR is fresh (skip with PREBUILT=1 when binaries are known-good).
+if [ -z "${PREBUILT:-}" ]; then cargo build --release -p mcond-bench --bins; fi
+for exp in table1_datasets table2_accuracy fig3_cost_graph_batch fig4_cost_node_batch \
+           table3_propagation table4_architectures table5_ablation \
+           fig5_mapping_vis fig6_sparsification fig7_sensitivity ablation_design \
+           calibrate_datasets; do
+  echo "=== running $exp (scale=$SCALE) ==="
+  "${BIN_DIR:-target/release}/$exp" \
+    --scale "$SCALE" --repeats "$REPEATS" --json "$OUT/$exp.json" \
+    | tee "$OUT/$exp.txt"
+done

@@ -1,0 +1,78 @@
+//! # mcond
+//!
+//! A Rust reproduction of **"Graph Condensation for Inductive Node
+//! Representation Learning"** (MCond, ICDE 2024).
+//!
+//! MCond condenses a large training graph `T = {A, X, Y}` into a small
+//! synthetic graph `S = {A', X', Y'}` *and* learns an explicit one-to-many
+//! mapping `M : N x N'` from original to synthetic nodes, so unseen
+//! (inductive) nodes can be attached directly to the synthetic graph via
+//! `aM` — message passing then runs on `N' ≪ N` nodes, giving large
+//! inference speedups and memory savings at near-par accuracy.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`linalg`] — dense matrices ([`linalg::DMat`]),
+//! * [`sparse`] — CSR graphs, GCN normalisation, sparsification,
+//! * [`autodiff`] — the reverse-mode tape engine,
+//! * [`graph`] — datasets, inductive splits, generators,
+//! * [`gnn`] — SGC/GCN/GraphSAGE/APPNP/Cheby models and training,
+//! * [`core`] — MCond itself plus GCond/coreset/VNG baselines,
+//! * [`propagate`] — label & error propagation calibration.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mcond::prelude::*;
+//!
+//! // 1. An inductive dataset: train subgraph = "original graph" T.
+//! let data = load_dataset("pubmed", Scale::Small, 0).unwrap();
+//!
+//! // 2. Condense T into S and learn the mapping M (Algorithm 1).
+//! let condensed = condense(&data, &McondConfig { ratio: 0.02, ..Default::default() });
+//!
+//! // 3. Train any GNN on the small graph S.
+//! let model = {
+//!     let ops = GraphOps::from_adj(&condensed.synthetic.adj);
+//!     let mut m = GnnModel::new(GnnKind::Sgc, condensed.synthetic.feature_dim(), 64,
+//!                               condensed.synthetic.num_classes, 0);
+//!     train(&mut m, &ops, &condensed.synthetic.features,
+//!           &condensed.synthetic.labels, &TrainConfig::default(), None);
+//!     m
+//! };
+//!
+//! // 4. Inductive inference directly on S through M (Eq. 11).
+//! let batch = data.test_batches(1000, false).remove(0);
+//! let target = InferenceTarget::Synthetic {
+//!     graph: &condensed.synthetic,
+//!     mapping: &condensed.mapping,
+//! };
+//! let logits = infer_inductive(&model, &target, &batch);
+//! println!("accuracy: {:.2}%", 100.0 * accuracy(&logits, &batch.labels));
+//! ```
+
+pub use mcond_autodiff as autodiff;
+pub use mcond_core as core;
+pub use mcond_gnn as gnn;
+pub use mcond_graph as graph;
+pub use mcond_linalg as linalg;
+pub use mcond_propagate as propagate;
+pub use mcond_sparse as sparse;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mcond_autodiff::{Adam, Tape, Var};
+    pub use mcond_core::{
+        attach_to_original, attach_to_synthetic, condense, coreset, infer_inductive, vng,
+        Condensed, CoresetMethod, InferenceTarget, McondConfig,
+    };
+    pub use mcond_gnn::{
+        accuracy, train, CostMeter, GnnKind, GnnModel, GraphOps, TrainConfig,
+    };
+    pub use mcond_graph::{
+        generate_sbm, load_dataset, Graph, InductiveDataset, NodeBatch, SbmConfig, Scale,
+    };
+    pub use mcond_linalg::{DMat, MatRng};
+    pub use mcond_propagate::{error_propagation, label_propagation, PropagationConfig};
+    pub use mcond_sparse::{sparsify_dense, sym_normalize, Coo, Csr};
+}
