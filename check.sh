@@ -1,6 +1,23 @@
 #!/bin/bash
 # The standard pre-submit checks for this repository.
 set -e
+
+# CI drift guard: .github/workflows/ci.yml must run the exact same tier-1
+# commands as this script. If either file is edited without the other, fail
+# loudly before running anything.
+WORKFLOW="$(dirname "$0")/.github/workflows/ci.yml"
+for cmd in \
+    "cargo clippy --workspace --all-targets -- -D warnings" \
+    "cargo test --workspace" \
+    "cargo bench --workspace --no-run"
+do
+    if ! grep -q "run: $cmd\$" "$WORKFLOW"; then
+        echo "DRIFT: $WORKFLOW is missing the tier-1 step: $cmd" >&2
+        echo "check.sh and the CI workflow must run identical commands." >&2
+        exit 1
+    fi
+done
+
 cargo fmt --all --check 2>/dev/null || echo "note: rustfmt not enforced (formatting is hand-maintained)"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace

@@ -1,22 +1,31 @@
-//! Property tests of the autodiff engine: structural identities the tape
-//! must satisfy for arbitrary inputs.
+//! Property-style tests of the autodiff engine: structural identities the
+//! tape must satisfy for arbitrary inputs. Cases are drawn from the
+//! workspace's seeded [`MatRng`] (no external fuzzing crate); assertion
+//! messages carry the case index for deterministic replay.
 
 use mcond_autodiff::Tape;
-use mcond_linalg::{approx_eq, DMat};
-use proptest::prelude::*;
+use mcond_linalg::{approx_eq, DMat, MatRng};
 
-fn arb_mat(max_dim: usize) -> impl Strategy<Value = DMat> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-3.0f32..3.0, r * c)
-            .prop_map(move |data| DMat::from_vec(r, c, data))
-    })
+const CASES: u64 = 48;
+
+fn case_rng(salt: u64, case: u64) -> MatRng {
+    MatRng::seed_from(0xAD1F ^ (salt << 32) ^ case)
 }
 
-proptest! {
-    /// Backward of a linear map is input-independent: for l = Σ rows ‖·‖ of
-    /// (s·X), scaling the *loss* by c scales the gradient by c.
-    #[test]
-    fn gradient_scales_linearly_with_loss_scaling(m in arb_mat(8), c in 0.5f32..3.0) {
+fn arb_mat(rng: &mut MatRng, max_dim: usize) -> DMat {
+    let r = 1 + rng.index(max_dim);
+    let c = 1 + rng.index(max_dim);
+    rng.uniform(r, c, -3.0, 3.0)
+}
+
+/// Backward of a linear map is input-independent: for l = Σ rows ‖·‖ of
+/// (s·X), scaling the *loss* by c scales the gradient by c.
+#[test]
+fn gradient_scales_linearly_with_loss_scaling() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let m = arb_mat(&mut rng, 8);
+        let c = 0.5 + 2.5 * rng.unit();
         let grad_of = |scale: f32| {
             let mut tape = Tape::new();
             let x = tape.param(m.clone());
@@ -28,13 +37,16 @@ proptest! {
         let g1 = grad_of(1.0);
         let gc = grad_of(c);
         for (a, b) in g1.as_slice().iter().zip(gc.as_slice()) {
-            prop_assert!(approx_eq(*a * c, *b, 1e-3), "{} vs {}", a * c, b);
+            assert!(approx_eq(*a * c, *b, 1e-3), "case {case}: {} vs {b}", a * c);
         }
     }
+}
 
-    /// Sum rule: grad(l1 + l2) == grad(l1) + grad(l2).
-    #[test]
-    fn gradient_of_sum_is_sum_of_gradients(m in arb_mat(6)) {
+/// Sum rule: grad(l1 + l2) == grad(l1) + grad(l2).
+#[test]
+fn gradient_of_sum_is_sum_of_gradients() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(2, case), 6);
         let both = {
             let mut tape = Tape::new();
             let x = tape.param(m.clone());
@@ -61,13 +73,16 @@ proptest! {
             g(0).add(&g(1))
         };
         for (a, b) in both.as_slice().iter().zip(separate.as_slice()) {
-            prop_assert!(approx_eq(*a, *b, 1e-3), "{} vs {}", a, b);
+            assert!(approx_eq(*a, *b, 1e-3), "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Transpose symmetry: grad through a transpose equals transposed grad.
-    #[test]
-    fn transpose_pushes_gradient_through(m in arb_mat(7)) {
+/// Transpose symmetry: grad through a transpose equals transposed grad.
+#[test]
+fn transpose_pushes_gradient_through() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(3, case), 7);
         let direct = {
             let mut tape = Tape::new();
             let x = tape.param(m.clone());
@@ -83,25 +98,31 @@ proptest! {
             tape.backward(l).get(x).cloned().unwrap()
         };
         for (a, b) in direct.as_slice().iter().zip(via_double_transpose.as_slice()) {
-            prop_assert!(approx_eq(*a, *b, 1e-4));
+            assert!(approx_eq(*a, *b, 1e-4), "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// The forward value of composed ops matches eager dense evaluation.
-    #[test]
-    fn forward_values_match_eager_algebra(m in arb_mat(6)) {
+/// The forward value of composed ops matches eager dense evaluation.
+#[test]
+fn forward_values_match_eager_algebra() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(4, case), 6);
         let mut tape = Tape::new();
         let x = tape.param(m.clone());
         let r = tape.relu(x);
         let s = tape.scale(r, 2.0);
         let a = tape.add_const(s, -0.5);
         let eager = m.relu().scale(2.0).map(|v| v - 0.5);
-        prop_assert_eq!(tape.value(a), &eager);
+        assert_eq!(tape.value(a), &eager, "case {case}");
     }
+}
 
-    /// vstack/slice_rows round trip preserves gradients exactly.
-    #[test]
-    fn vstack_slice_round_trip(m in arb_mat(5)) {
+/// vstack/slice_rows round trip preserves gradients exactly.
+#[test]
+fn vstack_slice_round_trip() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(5, case), 5);
         let mut tape = Tape::new();
         let x = tape.param(m.clone());
         let doubled = tape.vstack(x, x);
@@ -114,19 +135,24 @@ proptest! {
         let l2 = tape2.l21(x2);
         let g_direct = tape2.backward(l2).get(x2).cloned().unwrap();
         for (a, b) in g_roundtrip.as_slice().iter().zip(g_direct.as_slice()) {
-            prop_assert!(approx_eq(*a, *b, 1e-4));
+            assert!(approx_eq(*a, *b, 1e-4), "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Softmax cross-entropy is non-negative and ln(C) at uniform logits.
-    #[test]
-    fn cross_entropy_bounds(rows in 1usize..6, cols in 2usize..5) {
+/// Softmax cross-entropy is non-negative and ln(C) at uniform logits.
+#[test]
+fn cross_entropy_bounds() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let rows = 1 + rng.index(5);
+        let cols = 2 + rng.index(3);
         let mut tape = Tape::new();
         let logits = tape.param(DMat::zeros(rows, cols));
         let labels = std::rc::Rc::new((0..rows).map(|i| i % cols).collect::<Vec<_>>());
         let l = tape.softmax_cross_entropy(logits, labels);
         let v = tape.scalar(l);
-        prop_assert!(v >= 0.0);
-        prop_assert!(approx_eq(v, (cols as f32).ln(), 1e-4));
+        assert!(v >= 0.0, "case {case}");
+        assert!(approx_eq(v, (cols as f32).ln(), 1e-4), "case {case}: {v}");
     }
 }

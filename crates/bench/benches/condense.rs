@@ -3,13 +3,13 @@
 //! Eq. (5) column-cosine distance versus a plain L2 alternative, and the
 //! Eq. (6) pairwise adjacency generator.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mcond_autodiff::Tape;
+use mcond_bench::microbench::{black_box, Bench};
 use mcond_core::{condense, AdjacencyGenerator, McondConfig};
 use mcond_graph::{load_dataset, Scale};
 use mcond_linalg::MatRng;
 
-fn bench_condense_step(c: &mut Criterion) {
+fn bench_condense_step(bench: &mut Bench) {
     let data = load_dataset("pubmed", Scale::Small, 0).expect("bundled dataset");
     // One outer loop with one relay/mapping step each isolates the per-step
     // cost of Algorithm 1.
@@ -21,65 +21,54 @@ fn bench_condense_step(c: &mut Criterion) {
         support_cap: 64,
         ..McondConfig::default()
     };
-    c.bench_function("condense/one_step_pubmed_small", |b| {
-        b.iter(|| black_box(condense(&data, &cfg)));
-    });
+    bench.run("condense/one_step_pubmed_small", || black_box(condense(&data, &cfg)));
 }
 
-fn bench_gradient_distance(c: &mut Criterion) {
+fn bench_gradient_distance(bench: &mut Bench) {
     // Ablation: Eq. (5) column-cosine distance vs plain L2 on the stacked
     // relay gradients ((d+1) x C matrices).
     let mut rng = MatRng::seed_from(3);
     let g1 = rng.normal(65, 8, 0.0, 1.0);
     let g2 = rng.normal(65, 8, 0.0, 1.0);
-    let mut group = c.benchmark_group("gradient_distance");
-    group.bench_function("cosine_columns", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let a = tape.param(g1.clone());
-            let t = tape.constant(g2.clone());
-            let loss = tape.cosine_col_dist(a, t);
-            black_box(tape.backward(loss))
-        });
+    bench.run("gradient_distance/cosine_columns", || {
+        let mut tape = Tape::new();
+        let a = tape.param(g1.clone());
+        let t = tape.constant(g2.clone());
+        let loss = tape.cosine_col_dist(a, t);
+        black_box(tape.backward(loss))
     });
-    group.bench_function("l2", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let a = tape.param(g1.clone());
-            let t = tape.constant(g2.clone());
-            let diff = tape.sub(a, t);
-            let loss = tape.l21(diff);
-            black_box(tape.backward(loss))
-        });
+    bench.run("gradient_distance/l2", || {
+        let mut tape = Tape::new();
+        let a = tape.param(g1.clone());
+        let t = tape.constant(g2.clone());
+        let diff = tape.sub(a, t);
+        let loss = tape.l21(diff);
+        black_box(tape.backward(loss))
     });
-    group.finish();
 }
 
-fn bench_adjacency_generator(c: &mut Criterion) {
+fn bench_adjacency_generator(bench: &mut Bench) {
     // Eq. (6) is quadratic in N'; measure the forward+backward cost at the
     // synthetic sizes the experiments use.
-    let mut group = c.benchmark_group("adjacency_generator");
     for &n in &[20usize, 40, 80] {
         let mut rng = MatRng::seed_from(4);
         let generator = AdjacencyGenerator::init(64, 64, &mut rng);
         let xs = rng.normal(n, 64, 0.0, 1.0);
-        group.bench_function(format!("forward_backward/{n}"), |b| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let ps = generator.tape_params(&mut tape);
-                let x = tape.param(xs.clone());
-                let a = generator.adjacency(&mut tape, &ps, x);
-                let loss = tape.l21(a);
-                black_box(tape.backward(loss))
-            });
+        bench.run(&format!("adjacency_generator/forward_backward/{n}"), || {
+            let mut tape = Tape::new();
+            let ps = generator.tape_params(&mut tape);
+            let x = tape.param(xs.clone());
+            let a = generator.adjacency(&mut tape, &ps, x);
+            let loss = tape.l21(a);
+            black_box(tape.backward(loss))
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_condense_step, bench_gradient_distance, bench_adjacency_generator
+fn main() {
+    let mut bench = Bench::from_env().sample_size(10);
+    bench_condense_step(&mut bench);
+    bench_gradient_distance(&mut bench);
+    bench_adjacency_generator(&mut bench);
+    bench.finish("condensation microbenches");
 }
-criterion_main!(benches);

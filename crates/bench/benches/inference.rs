@@ -1,9 +1,9 @@
-//! The Fig. 3 / Fig. 4 kernel as a Criterion bench: end-to-end inductive
+//! The Fig. 3 / Fig. 4 kernel as a microbench: end-to-end inductive
 //! inference of one test batch on the original graph (Eq. 3) versus the
 //! condensed graph through the mapping (Eq. 11), plus the Table III
 //! propagation kernels on both targets.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcond_bench::microbench::{black_box, Bench};
 use mcond_bench::pipeline::{build_pipeline, Pipeline};
 use mcond_core::{InductiveServer, InferenceTarget};
 use mcond_gnn::GraphOps;
@@ -14,8 +14,7 @@ fn pipeline() -> Pipeline {
     build_pipeline("reddit", Scale::Small, 0.015, 0, Some(60))
 }
 
-fn bench_inductive_inference(c: &mut Criterion) {
-    let p = pipeline();
+fn bench_inductive_inference(bench: &mut Bench, p: &Pipeline) {
     let batch = &p.data.test_batches(100, true)[0];
     let original = InferenceTarget::Original(&p.original);
     let synthetic = InferenceTarget::Synthetic {
@@ -23,26 +22,19 @@ fn bench_inductive_inference(c: &mut Criterion) {
         mapping: &p.mcond.mapping,
     };
 
-    let mut group = c.benchmark_group("inductive_inference");
-    group.bench_function("original_graph", |b| {
-        b.iter(|| {
-            let (adj, x) = original.attach(batch);
-            let ops = GraphOps::from_adj(&adj);
-            black_box(p.model_original.predict(&ops, &x))
-        });
+    bench.run("inductive_inference/original_graph", || {
+        let (adj, x) = original.attach(batch);
+        let ops = GraphOps::from_adj(&adj);
+        black_box(p.model_original.predict(&ops, &x))
     });
-    group.bench_function("synthetic_graph", |b| {
-        b.iter(|| {
-            let (adj, x) = synthetic.attach(batch);
-            let ops = GraphOps::from_adj(&adj);
-            black_box(p.model_original.predict(&ops, &x))
-        });
+    bench.run("inductive_inference/synthetic_graph", || {
+        let (adj, x) = synthetic.attach(batch);
+        let ops = GraphOps::from_adj(&adj);
+        black_box(p.model_original.predict(&ops, &x))
     });
-    group.finish();
 }
 
-fn bench_propagation(c: &mut Criterion) {
-    let p = pipeline();
+fn bench_propagation(bench: &mut Bench, p: &Pipeline) {
     let batch = &p.data.test_batches(100, true)[0];
     let cfg = PropagationConfig::default();
 
@@ -53,59 +45,50 @@ fn bench_propagation(c: &mut Criterion) {
     }
     .attach(batch);
 
-    let mut group = c.benchmark_group("label_propagation");
-    group.bench_function("original_graph", |b| {
-        b.iter(|| {
-            black_box(label_propagation(
-                &adj_o,
-                &p.original.labels,
-                p.original.num_nodes(),
-                p.original.num_classes,
-                &cfg,
-            ))
-        });
+    bench.run("label_propagation/original_graph", || {
+        black_box(label_propagation(
+            &adj_o,
+            &p.original.labels,
+            p.original.num_nodes(),
+            p.original.num_classes,
+            &cfg,
+        ))
     });
-    group.bench_function("synthetic_graph", |b| {
-        b.iter(|| {
-            black_box(label_propagation(
-                &adj_s,
-                &p.mcond.synthetic.labels,
-                p.mcond.synthetic.num_nodes(),
-                p.original.num_classes,
-                &cfg,
-            ))
-        });
+    bench.run("label_propagation/synthetic_graph", || {
+        black_box(label_propagation(
+            &adj_s,
+            &p.mcond.synthetic.labels,
+            p.mcond.synthetic.num_nodes(),
+            p.original.num_classes,
+            &cfg,
+        ))
     });
-    group.finish();
 }
 
 /// The serving ablation: per-batch materialised attachment (copies the
 /// base CSR each call) versus the lazy extended propagator of
 /// `InductiveServer` — same logits, different per-batch cost.
-fn bench_serving(c: &mut Criterion) {
-    let p = pipeline();
+fn bench_serving(bench: &mut Bench, p: &Pipeline) {
     let batch = &p.data.test_batches(100, true)[0];
     let original = InferenceTarget::Original(&p.original);
     let server = InductiveServer::on_original(&p.original, &p.model_original);
 
-    let mut group = c.benchmark_group("serving_original_graph");
-    group.bench_function("materialised_per_batch", |b| {
-        b.iter(|| {
-            let (adj, x) = original.attach(batch);
-            let ops = GraphOps::from_adj(&adj);
-            let logits = p.model_original.predict(&ops, &x);
-            black_box(logits.slice_rows(p.original.num_nodes(), x.rows()))
-        });
+    bench.run("serving_original_graph/materialised_per_batch", || {
+        let (adj, x) = original.attach(batch);
+        let ops = GraphOps::from_adj(&adj);
+        let logits = p.model_original.predict(&ops, &x);
+        black_box(logits.slice_rows(p.original.num_nodes(), x.rows()))
     });
-    group.bench_function("lazy_extended_server", |b| {
-        b.iter(|| black_box(server.serve(batch)));
+    bench.run("serving_original_graph/lazy_extended_server", || {
+        black_box(server.serve(batch))
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_inductive_inference, bench_propagation, bench_serving
+fn main() {
+    let p = pipeline();
+    let mut bench = Bench::from_env().sample_size(20);
+    bench_inductive_inference(&mut bench, &p);
+    bench_propagation(&mut bench, &p);
+    bench_serving(&mut bench, &p);
+    bench.finish("inductive inference microbenches");
 }
-criterion_main!(benches);

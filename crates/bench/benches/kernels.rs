@@ -3,32 +3,23 @@
 //! step and inference pass, and the subject of the DESIGN.md ablation on
 //! CSR SpMM vs dense matmul for synthetic-graph inference.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcond_bench::microbench::{black_box, Bench};
 use mcond_graph::{generate_sbm, SbmConfig};
 use mcond_linalg::MatRng;
 use mcond_sparse::sym_normalize;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(bench: &mut Bench) {
     for &n in &[64usize, 128, 256] {
         let mut rng = MatRng::seed_from(1);
         let a = rng.uniform(n, n, -1.0, 1.0);
         let b = rng.uniform(n, n, -1.0, 1.0);
-        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
-            bch.iter(|| black_box(a.matmul(&b)));
-        });
-        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
-            bch.iter(|| black_box(a.matmul_tn(&b)));
-        });
-        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
-            bch.iter(|| black_box(a.matmul_nt(&b)));
-        });
+        bench.run(&format!("matmul/nn/{n}"), || black_box(a.matmul(&b)));
+        bench.run(&format!("matmul/tn/{n}"), || black_box(a.matmul_tn(&b)));
+        bench.run(&format!("matmul/nt/{n}"), || black_box(a.matmul_nt(&b)));
     }
-    group.finish();
 }
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
+fn bench_spmm(bench: &mut Bench) {
     for &n in &[1_000usize, 4_000] {
         let graph = generate_sbm(&SbmConfig {
             nodes: n,
@@ -39,29 +30,27 @@ fn bench_spmm(c: &mut Criterion) {
         let ahat = sym_normalize(&graph.adj);
         let dense = ahat.to_dense();
         // One propagation step, sparse vs dense representation of Â.
-        group.bench_with_input(BenchmarkId::new("csr", n), &n, |bch, _| {
-            bch.iter(|| black_box(ahat.spmm(&graph.features)));
-        });
+        bench.run(&format!("spmm/csr/{n}"), || black_box(ahat.spmm(&graph.features)));
         if n <= 1_000 {
-            group.bench_with_input(BenchmarkId::new("dense", n), &n, |bch, _| {
-                bch.iter(|| black_box(dense.matmul(&graph.features)));
-            });
+            bench.run(&format!("spmm/dense/{n}"), || black_box(dense.matmul(&graph.features)));
         }
     }
-    group.finish();
 }
 
-fn bench_normalize(c: &mut Criterion) {
+fn bench_normalize(bench: &mut Bench) {
     let graph = generate_sbm(&SbmConfig {
         nodes: 4_000,
         edges: 40_000,
         feature_dim: 8,
         ..SbmConfig::default()
     });
-    c.bench_function("sym_normalize/4000", |b| {
-        b.iter(|| black_box(sym_normalize(&graph.adj)));
-    });
+    bench.run("sym_normalize/4000", || black_box(sym_normalize(&graph.adj)));
 }
 
-criterion_group!(benches, bench_matmul, bench_spmm, bench_normalize);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env();
+    bench_matmul(&mut bench);
+    bench_spmm(&mut bench);
+    bench_normalize(&mut bench);
+    bench.finish("kernel microbenches");
+}

@@ -1,0 +1,41 @@
+//! Overhead of the observability substrate itself: the same kernel loop
+//! with the sink disabled (the production default — every probe must
+//! collapse to one relaxed atomic load) versus with metrics aggregation
+//! forced on. Run with `MCOND_LOG` unset to see the zero-cost baseline;
+//! the disabled and plain variants should be indistinguishable.
+
+use mcond_bench::microbench::{black_box, Bench};
+use mcond_linalg::MatRng;
+
+fn main() {
+    assert!(
+        std::env::var("MCOND_LOG").map_or(true, |v| v.is_empty()),
+        "run the overhead bench with MCOND_LOG unset so the disabled \
+         baseline is actually disabled"
+    );
+    let mut bench = Bench::from_env();
+    let mut rng = MatRng::seed_from(7);
+    let a = rng.uniform(64, 64, -1.0, 1.0);
+    let b = rng.uniform(64, 64, -1.0, 1.0);
+
+    // Baseline: the raw kernel. Instrumented: same kernel, probes compiled
+    // in but sink disabled — the acceptance bar is "no measurable overhead".
+    bench.run("obs_overhead/matmul64_raw_loop", || black_box(a.matmul(&b)));
+    bench.run("obs_overhead/matmul64_probes_disabled", || {
+        let _span = mcond_obs::span("bench.matmul");
+        mcond_obs::counter_add("bench.flops", 2 * 64 * 64 * 64);
+        black_box(a.matmul(&b))
+    });
+
+    // Per-probe cost in isolation, disabled vs metrics forced on.
+    bench.run("obs_overhead/probe_disabled", || {
+        mcond_obs::counter_add("bench.probe", 1);
+        black_box(())
+    });
+    mcond_obs::enable_metrics();
+    bench.run("obs_overhead/probe_metrics_on", || {
+        mcond_obs::counter_add("bench.probe", 1);
+        black_box(())
+    });
+    bench.finish("observability overhead");
+}

@@ -2,14 +2,32 @@
 
 use crate::pipeline::{build_pipeline, default_batch_size};
 use crate::{evaluate_inductive, parse_args, print_table, propagated_embeddings, Row, TableReport};
-use mcond_core::{coreset, vng, CoresetMethod, InferenceTarget};
+use mcond_core::{coreset, vng, CoresetMethod, InductiveServer, InferenceTarget};
 use mcond_graph::dataset_spec;
+use mcond_obs::MetricsSnapshot;
+
+/// Re-labels every metric in `snapshot` with `prefix` so snapshots from
+/// several servers (or datasets) coexist in one report.
+fn prefixed(snapshot: &MetricsSnapshot, prefix: &str) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: snapshot.counters.iter().map(|(k, v)| (format!("{prefix}{k}"), *v)).collect(),
+        gauges: snapshot.gauges.iter().map(|(k, v)| (format!("{prefix}{k}"), *v)).collect(),
+        histograms: snapshot
+            .histograms
+            .iter()
+            .map(|(k, v)| (format!("{prefix}{k}"), *v))
+            .collect(),
+    }
+}
 
 /// Runs the inference time/memory comparison for one batch setting and
 /// prints/dumps the report. Annotates each method with its acceleration and
 /// compression rate versus Whole, as the figures do.
 pub fn run_cost_experiment(graph_batch: bool, title: &str) {
     let args = parse_args();
+    // Aggregate kernel counters (FLOPs, SpMM traffic) even when no event
+    // sink is configured, so the JSON dump always carries them.
+    mcond_obs::enable_metrics();
     let mut report = TableReport::new(title);
     for name in &args.datasets {
         let Ok(spec) = dataset_spec(name, args.scale, args.seed) else {
@@ -75,8 +93,32 @@ pub fn run_cost_experiment(graph_batch: bool, title: &str) {
                         ),
                 );
             }
+
+            // Serving pass: push the same batches through the lazy
+            // `InductiveServer` on both deployment targets and fold the
+            // request-level latency/fanout histograms into the dump.
+            let server_whole = InductiveServer::on_original(&p.original, &p.model_original);
+            let server_mcond = InductiveServer::on_synthetic(
+                &p.mcond.synthetic,
+                &p.mcond.mapping,
+                &p.model_original,
+            );
+            for batch in &batches {
+                let _ = server_whole.serve(batch);
+                let _ = server_mcond.serve(batch);
+            }
+            let tag = format!("{name}/r={ratio}/");
+            report.attach_metrics(&prefixed(
+                &server_whole.metrics_snapshot(),
+                &format!("{tag}whole."),
+            ));
+            report.attach_metrics(&prefixed(
+                &server_mcond.metrics_snapshot(),
+                &format!("{tag}mcond."),
+            ));
         }
     }
+    report.attach_metrics(&mcond_obs::snapshot());
     print_table(&report);
     if let Some(path) = &args.json {
         report.dump_json(path).expect("write json");

@@ -6,11 +6,13 @@
 
 pub mod cli;
 pub mod cost;
+pub mod microbench;
 pub mod pipeline;
 pub mod eval;
 pub mod report;
 
 pub use cli::{parse_args, BenchArgs};
+pub use microbench::Bench;
 pub use eval::{
     evaluate_inductive, mean_std, propagated_embeddings, train_on_graph, EvalResult, EvalSetting,
 };

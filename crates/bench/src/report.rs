@@ -1,9 +1,9 @@
 //! Table rendering and machine-readable result dumps.
 
-use serde::Serialize;
+use mcond_obs::{Json, MetricsSnapshot};
 
 /// One result row: free-form key columns plus named numeric metrics.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Key columns (dataset, method, ratio, …) in table order.
     pub keys: Vec<(String, String)>,
@@ -31,6 +31,18 @@ impl Row {
         self.metrics.push((name.to_owned(), value));
         self
     }
+
+    fn to_json(&self) -> Json {
+        let mut keys = Json::obj();
+        for (k, v) in &self.keys {
+            keys.insert(k, v.as_str());
+        }
+        let mut metrics = Json::obj();
+        for (k, v) in &self.metrics {
+            metrics.insert(k, *v);
+        }
+        Json::obj().with("keys", keys).with("metrics", metrics)
+    }
 }
 
 impl Default for Row {
@@ -39,20 +51,24 @@ impl Default for Row {
     }
 }
 
-/// A titled collection of rows.
-#[derive(Clone, Debug, Serialize)]
+/// A titled collection of rows, optionally carrying the observability
+/// counters/histograms captured while the experiment ran.
+#[derive(Clone, Debug)]
 pub struct TableReport {
     /// Table/figure title (e.g. `"Table II — inductive accuracy"`).
     pub title: String,
     /// Result rows.
     pub rows: Vec<Row>,
+    /// Pipeline metrics (kernel counters, serve latency histograms, …)
+    /// folded into the JSON dump when non-empty.
+    pub metrics: MetricsSnapshot,
 }
 
 impl TableReport {
     /// An empty report.
     #[must_use]
     pub fn new(title: &str) -> Self {
-        Self { title: title.to_owned(), rows: Vec::new() }
+        Self { title: title.to_owned(), rows: Vec::new(), metrics: MetricsSnapshot::default() }
     }
 
     /// Appends a row.
@@ -60,14 +76,31 @@ impl TableReport {
         self.rows.push(row);
     }
 
-    /// Writes the report as JSON to `path`.
+    /// Merges an observability snapshot into the report (e.g. a server's
+    /// latency histograms or the global kernel counters).
+    pub fn attach_metrics(&mut self, snapshot: &MetricsSnapshot) {
+        self.metrics.counters.extend(snapshot.counters.iter().cloned());
+        self.metrics.gauges.extend(snapshot.gauges.iter().cloned());
+        self.metrics.histograms.extend(snapshot.histograms.iter().cloned());
+    }
+
+    /// The report as a JSON value: `{title, rows, [metrics]}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self.rows.iter().map(Row::to_json).collect();
+        let mut json = Json::obj().with("title", self.title.as_str()).with("rows", rows);
+        if !self.metrics.is_empty() {
+            json.insert("metrics", self.metrics.to_json());
+        }
+        json
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
     ///
     /// # Errors
-    /// Propagates I/O and serialisation errors.
+    /// Propagates I/O errors.
     pub fn dump_json(&self, path: &str) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().pretty())
     }
 }
 
@@ -95,6 +128,10 @@ pub fn print_table(report: &TableReport) {
         );
     }
     let cols = cells[0].len();
+    if cols == 0 {
+        println!("(no columns)");
+        return;
+    }
     let widths: Vec<usize> = (0..cols)
         .map(|c| cells.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
         .collect();
@@ -148,7 +185,48 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"title\": \"test\""));
         assert!(text.contains("1.5"));
+        // The dump is parseable JSON with the same structure.
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("title").and_then(Json::as_str), Some("test"));
+        let rows = parsed.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            rows[0].get("metrics").and_then(|m| m.get("m")).and_then(Json::as_f64),
+            Some(1.5)
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn attached_metrics_appear_in_the_dump() {
+        let mut report = TableReport::new("with metrics");
+        report.push(Row::new().key("k", "v").metric("m", 2.0));
+        let snap = MetricsSnapshot {
+            counters: vec![("linalg.matmul.flops".to_owned(), 1234)],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        report.attach_metrics(&snap);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("linalg.matmul.flops"))
+                .and_then(Json::as_f64),
+            Some(1234.0)
+        );
+        // Empty snapshots stay out of the dump entirely.
+        let bare = TableReport::new("bare").to_json();
+        assert!(bare.get("metrics").is_none());
+    }
+
+    #[test]
+    fn print_table_survives_empty_rows_and_columns() {
+        // No rows at all.
+        print_table(&TableReport::new("empty"));
+        // A row with zero columns used to underflow the separator width.
+        let mut report = TableReport::new("zero-cols");
+        report.push(Row::new());
+        print_table(&report);
     }
 
     #[test]

@@ -187,6 +187,10 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
     let d = original.feature_dim();
     let c = original.num_classes;
     let n_syn = ((cfg.ratio * n as f64).round() as usize).max(c);
+    let _condense_span = mcond_obs::span_with(
+        "condense",
+        vec![("n", n.into()), ("n_syn", n_syn.into()), ("d", d.into()), ("c", c.into())],
+    );
     let mut rng = MatRng::seed_from(cfg.seed);
 
     // --- Synthetic labels Y' (fixed, class-proportional) and X' init
@@ -268,13 +272,14 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
     let mut history = CondenseHistory::default();
 
     // --- Algorithm 1 main loop. ---------------------------------------------
-    for _outer in 0..cfg.outer_loops {
+    for outer in 0..cfg.outer_loops {
+        let _outer_span = mcond_obs::span_with("condense.outer", vec![("outer", outer.into())]);
         let mut relay = Relay::init(d, c, cfg.hops, &mut rng);
         let mut relay_opt_w = Adam::new(cfg.lr_relay, d, c);
         let mut relay_opt_b = Adam::new(cfg.lr_relay, 1, c);
 
         // ---- Update synthetic graph (lines 6–11). -------------------------
-        for _t in 0..cfg.relay_steps {
+        for t in 0..cfg.relay_steps {
             let m_norm = mapping.normalized_detached();
 
             let mut tape = Tape::new();
@@ -370,6 +375,20 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
             // Relay step on the detached synthetic graph (line 11).
             let z_det = propagate_synthetic(&generator, &x_syn, cfg.hops);
             relay.train_step(&z_det, &labels_syn, &mut relay_opt_w, &mut relay_opt_b);
+
+            if mcond_obs::enabled() {
+                let mut fields = vec![
+                    ("outer", outer.into()),
+                    ("step", t.into()),
+                    ("l_gra", history.grad_loss.last().copied().unwrap_or(f32::NAN).into()),
+                ];
+                if cfg.use_structure_loss {
+                    if let Some(&l_str) = history.structure_loss.last() {
+                        fields.push(("l_str", l_str.into()));
+                    }
+                }
+                mcond_obs::point("condense.relay_step", &fields);
+            }
         }
 
         // ---- Update mapping matrix (lines 12–15). --------------------------
@@ -395,7 +414,7 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
             let h_orig = &z_orig;
             let h_support = z_support_orig.as_ref();
 
-            for _s in 0..cfg.mapping_steps {
+            for step in 0..cfg.mapping_steps {
                 let mut tape = Tape::new();
                 let raw = mapping.tape_param(&mut tape);
                 let m_hat = mapping.normalized(&mut tape, raw);
@@ -452,6 +471,21 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
                 };
                 history.mapping_loss.push(tape.scalar(l_m));
 
+                if mcond_obs::enabled() {
+                    let mut fields = vec![
+                        ("outer", outer.into()),
+                        ("step", step.into()),
+                        ("l_tra", history.transductive_loss.last().copied().unwrap_or(f32::NAN).into()),
+                        ("l_map", history.mapping_loss.last().copied().unwrap_or(f32::NAN).into()),
+                    ];
+                    if cfg.use_inductive_loss {
+                        if let Some(&l_ind) = history.inductive_loss.last() {
+                            fields.push(("l_ind", l_ind.into()));
+                        }
+                    }
+                    mcond_obs::point("condense.mapping_step", &fields);
+                }
+
                 let mut grads = tape.backward(l_m);
                 if let Some(g) = grads.take(raw) {
                     map_opt.step(&mut mapping.raw, &g);
@@ -463,8 +497,18 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
     // --- Eq. (14) sparsification. -------------------------------------------
     let dense_adj = generator.adjacency_detached(&x_syn);
     let dense_mapping = mapping.normalized_detached();
-    let (adj_sparse, _) = sparsify_dense(&dense_adj, cfg.mu);
-    let (map_sparse, _) = sparsify_dense(&dense_mapping, cfg.delta);
+    let (adj_sparse, adj_stats) = sparsify_dense(&dense_adj, cfg.mu);
+    let (map_sparse, map_stats) = sparsify_dense(&dense_mapping, cfg.delta);
+    mcond_obs::point(
+        "condense.sparsify",
+        &[
+            ("adj_nnz_before", (adj_stats.kept + adj_stats.dropped).into()),
+            ("adj_nnz_after", adj_stats.kept.into()),
+            ("map_nnz_before", (map_stats.kept + map_stats.dropped).into()),
+            ("map_nnz_after", map_stats.kept.into()),
+        ],
+    );
+    mcond_obs::emit_snapshot("condense");
 
     Condensed {
         synthetic: Graph::new(adj_sparse, x_syn, labels_syn, c),

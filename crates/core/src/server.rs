@@ -15,8 +15,22 @@
 use mcond_gnn::{GnnModel, GraphOps};
 use mcond_graph::{Graph, NodeBatch};
 use mcond_linalg::DMat;
+use mcond_obs::{Histogram, MetricsSnapshot};
 use mcond_sparse::Csr;
+use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
+
+/// Per-instance serving statistics; kept on the server (not the global
+/// registry) so concurrent servers — and parallel tests — never mix
+/// numbers.
+#[derive(Default)]
+struct ServeStats {
+    requests: u64,
+    latency_us: Histogram,
+    fanout: Histogram,
+    batch_size: Histogram,
+}
 
 /// A reusable inductive-inference endpoint over a fixed base graph
 /// (original `T` per Eq. 3, or synthetic `S` + mapping per Eq. 11).
@@ -25,6 +39,7 @@ pub struct InductiveServer<'a> {
     base_features: &'a DMat,
     mapping: Option<&'a Csr>,
     model: &'a GnnModel,
+    stats: RefCell<ServeStats>,
 }
 
 impl<'a> InductiveServer<'a> {
@@ -36,6 +51,7 @@ impl<'a> InductiveServer<'a> {
             base_features: &graph.features,
             mapping: None,
             model,
+            stats: RefCell::new(ServeStats::default()),
         }
     }
 
@@ -56,6 +72,7 @@ impl<'a> InductiveServer<'a> {
             base_features: &graph.features,
             mapping: Some(mapping),
             model,
+            stats: RefCell::new(ServeStats::default()),
         }
     }
 
@@ -72,6 +89,8 @@ impl<'a> InductiveServer<'a> {
     /// (original-graph serving) or the mapping rows (synthetic serving).
     #[must_use]
     pub fn serve(&self, batch: &NodeBatch) -> DMat {
+        let _span = mcond_obs::span_with("serve", vec![("batch", batch.len().into())]);
+        let start = Instant::now();
         let inc = match self.mapping {
             None => {
                 assert_eq!(
@@ -91,10 +110,50 @@ impl<'a> InductiveServer<'a> {
             }
         };
         let inter = Rc::new(batch.interconnect.clone());
+        let fanout = inc.nnz();
         let ops = GraphOps::extended(&self.base_adj, &inc, &inter);
         let x = self.base_features.vstack(&batch.features);
         let logits = self.model.predict(&ops, &x);
-        logits.slice_rows(self.base_nodes(), logits.rows())
+        let out = logits.slice_rows(self.base_nodes(), logits.rows());
+
+        let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.requests += 1;
+            #[allow(clippy::cast_precision_loss)]
+            {
+                stats.latency_us.record(latency_us as f64);
+                stats.fanout.record(fanout as f64);
+                stats.batch_size.record(batch.len() as f64);
+            }
+        }
+        if mcond_obs::enabled() {
+            mcond_obs::point(
+                "serve.request",
+                &[
+                    ("batch", batch.len().into()),
+                    ("fanout", fanout.into()),
+                    ("latency_us", latency_us.into()),
+                ],
+            );
+        }
+        out
+    }
+
+    /// Freezes this server's request statistics (latency, attachment
+    /// fanout `‖aM̂‖₀`, batch sizes) into a snapshot for reports.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let stats = self.stats.borrow();
+        MetricsSnapshot {
+            counters: vec![("serve.requests".to_owned(), stats.requests)],
+            gauges: Vec::new(),
+            histograms: vec![
+                ("serve.latency_us".to_owned(), stats.latency_us.summary()),
+                ("serve.fanout".to_owned(), stats.fanout.summary()),
+                ("serve.batch_size".to_owned(), stats.batch_size.summary()),
+            ],
+        }
     }
 }
 

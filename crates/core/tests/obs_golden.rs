@@ -1,0 +1,142 @@
+//! Golden-file test of the observability pipeline: one small condense →
+//! train → serve run must emit JSONL in which *every* line parses back,
+//! and the expected event families (spans with durations, per-step losses,
+//! kernel counters, serve requests) are all present.
+
+use mcond_core::{condense, InductiveServer, McondConfig};
+use mcond_gnn::{train, GnnKind, GnnModel, GraphOps, TrainConfig};
+use mcond_graph::{load_dataset, Scale};
+use mcond_obs::{testing, Json};
+
+fn get<'a>(line: &'a Json, key: &str) -> Option<&'a Json> {
+    line.get(key)
+}
+
+#[test]
+fn condense_train_serve_emits_well_formed_jsonl() {
+    let cap = testing::capture();
+
+    let data = load_dataset("pubmed", Scale::Small, 0).expect("bundled dataset");
+    let cfg = McondConfig {
+        ratio: 0.02,
+        outer_loops: 1,
+        relay_steps: 2,
+        mapping_steps: 2,
+        support_cap: 32,
+        ..McondConfig::default()
+    };
+    let condensed = condense(&data, &cfg);
+
+    let mut model = GnnModel::new(
+        GnnKind::Gcn,
+        data.full.feature_dim(),
+        8,
+        data.full.num_classes,
+        7,
+    );
+    let ops = GraphOps::from_adj(&condensed.synthetic.adj);
+    let train_cfg = TrainConfig { epochs: 3, lr: 0.05, ..TrainConfig::default() };
+    let _report = train(
+        &mut model,
+        &ops,
+        &condensed.synthetic.features,
+        &condensed.synthetic.labels,
+        &train_cfg,
+        None,
+    );
+
+    let server =
+        InductiveServer::on_synthetic(&condensed.synthetic, &condensed.mapping, &model);
+    let batch = data.test_batches(40, false).remove(0);
+    let _ = server.serve(&batch);
+
+    // --- Every emitted line must parse back as a JSON object with the
+    // --- envelope keys. --------------------------------------------------
+    let text = cap.text();
+    assert!(!text.is_empty(), "no events captured");
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let parsed = Json::parse(raw)
+            .unwrap_or_else(|e| panic!("line {i} is not valid JSON ({e}): {raw}"));
+        for key in ["ev", "name", "t_us", "seq", "tid"] {
+            assert!(parsed.get(key).is_some(), "line {i} missing {key}: {raw}");
+        }
+        lines.push(parsed);
+    }
+
+    let find = |ev: &str, name: &str| -> Vec<&Json> {
+        lines
+            .iter()
+            .filter(|l| {
+                get(l, "ev").and_then(Json::as_str) == Some(ev)
+                    && get(l, "name").and_then(Json::as_str) == Some(name)
+            })
+            .collect()
+    };
+
+    // Root condense span closes with a measured duration and its config.
+    let condense_spans = find("span", "condense");
+    assert_eq!(condense_spans.len(), 1);
+    assert!(get(condense_spans[0], "us").and_then(Json::as_f64).unwrap() > 0.0);
+    let n_syn = get(find("span_start", "condense")[0], "fields")
+        .and_then(|f| f.get("n_syn"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(n_syn >= 1.0);
+
+    // Per-step losses: K x T relay steps with finite l_gra, and mapping
+    // steps with l_tra/l_map.
+    let relay_points = find("point", "condense.relay_step");
+    assert_eq!(relay_points.len(), cfg.outer_loops * cfg.relay_steps);
+    for pt in &relay_points {
+        let l_gra =
+            get(pt, "fields").and_then(|f| f.get("l_gra")).and_then(Json::as_f64).unwrap();
+        assert!(l_gra.is_finite(), "non-finite l_gra");
+    }
+    let mapping_points = find("point", "condense.mapping_step");
+    assert_eq!(mapping_points.len(), cfg.outer_loops * cfg.mapping_steps);
+    for pt in &mapping_points {
+        let fields = get(pt, "fields").unwrap();
+        assert!(fields.get("l_tra").and_then(Json::as_f64).unwrap().is_finite());
+        assert!(fields.get("l_map").and_then(Json::as_f64).unwrap().is_finite());
+    }
+
+    // Eq. (14) sparsification reports nnz before/after for A' and M.
+    let sparsify = find("point", "condense.sparsify");
+    assert_eq!(sparsify.len(), 1);
+    let sf = get(sparsify[0], "fields").unwrap();
+    let before = sf.get("adj_nnz_before").and_then(Json::as_f64).unwrap();
+    let after = sf.get("adj_nnz_after").and_then(Json::as_f64).unwrap();
+    assert!(after <= before);
+
+    // Kernel counters made it into the condense-end metrics record.
+    let metrics = find("metrics", "condense");
+    assert_eq!(metrics.len(), 1);
+    let counters = get(metrics[0], "metrics").and_then(|m| m.get("counters")).unwrap();
+    assert!(
+        counters.get("linalg.matmul.flops").and_then(Json::as_f64).unwrap() > 0.0,
+        "no matmul FLOPs counted during condense"
+    );
+    assert!(
+        counters.get("sparse.spmm.nnz").and_then(Json::as_f64).unwrap() > 0.0,
+        "no SpMM nnz counted during condense"
+    );
+
+    // Training emitted per-epoch losses inside its span.
+    assert_eq!(find("point", "gnn.train.epoch").len(), train_cfg.epochs);
+    assert_eq!(find("span", "gnn.train").len(), 1);
+
+    // Serving emitted a span and a request point with latency + fanout.
+    assert_eq!(find("span", "serve").len(), 1);
+    let request = find("point", "serve.request");
+    assert_eq!(request.len(), 1);
+    let rf = get(request[0], "fields").unwrap();
+    assert_eq!(rf.get("batch").and_then(Json::as_f64), Some(40.0));
+    assert!(rf.get("fanout").and_then(Json::as_f64).is_some());
+    assert!(rf.get("latency_us").and_then(Json::as_f64).is_some());
+
+    // And the server's own snapshot agrees with the one request served.
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.counter("serve.requests"), 1);
+    assert_eq!(snap.histogram("serve.latency_us").unwrap().count, 1);
+}

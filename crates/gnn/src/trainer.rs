@@ -56,6 +56,14 @@ pub fn train(
     val: Option<(&GraphOps, &DMat, &[usize])>,
 ) -> TrainReport {
     assert_eq!(features.rows(), labels.len(), "train: features/labels mismatch");
+    let mut train_span = mcond_obs::span_with(
+        "gnn.train",
+        vec![
+            ("nodes", features.rows().into()),
+            ("epochs_budget", cfg.epochs.into()),
+            ("has_val", val.is_some().into()),
+        ],
+    );
     let labels_rc = Rc::new(labels.to_vec());
     let mut opts: Vec<Adam> = model
         .params()
@@ -69,7 +77,7 @@ pub fn train(
     let mut stale = 0usize;
     let mut epochs_run = 0usize;
 
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         epochs_run += 1;
         let mut tape = Tape::new();
         let ps = model.tape_params(&mut tape);
@@ -84,8 +92,10 @@ pub fn train(
             }
         }
 
+        let mut val_acc = None;
         if let Some((vops, vx, vy)) = val {
             let acc = accuracy(&model.predict(vops, vx), vy);
+            val_acc = Some(acc);
             if acc > best_val {
                 best_val = acc;
                 best_params = Some(model.params().to_vec());
@@ -93,9 +103,27 @@ pub fn train(
             } else {
                 stale += 1;
                 if cfg.patience.is_some_and(|p| stale >= p) {
+                    if mcond_obs::enabled() {
+                        mcond_obs::point(
+                            "gnn.train.early_stop",
+                            &[
+                                ("epoch", epoch.into()),
+                                ("stale", stale.into()),
+                                ("best_val", best_val.into()),
+                            ],
+                        );
+                    }
                     break;
                 }
             }
+        }
+        if mcond_obs::enabled() {
+            let mut fields =
+                vec![("epoch", epoch.into()), ("loss", losses[epochs_run - 1].into())];
+            if let Some(acc) = val_acc {
+                fields.push(("val_acc", acc.into()));
+            }
+            mcond_obs::point("gnn.train.epoch", &fields);
         }
     }
 
@@ -105,6 +133,8 @@ pub fn train(
         }
     }
     let train_accuracy = accuracy(&model.predict(ops, features), labels);
+    train_span.record("epochs_run", epochs_run);
+    train_span.record("train_acc", train_accuracy);
     TrainReport {
         losses,
         train_accuracy,

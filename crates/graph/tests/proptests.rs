@@ -1,80 +1,94 @@
-//! Property tests of the dataset substrate: generator invariants and
-//! inductive-split bookkeeping under arbitrary configurations.
+//! Property-style tests of the dataset substrate: generator invariants and
+//! inductive-split bookkeeping under randomized configurations drawn from
+//! the workspace's seeded [`MatRng`] (no external fuzzing crate).
 
 use mcond_graph::{generate_sbm, InductiveDataset, SbmConfig};
-use proptest::prelude::*;
+use mcond_linalg::MatRng;
 
-fn arb_cfg() -> impl Strategy<Value = SbmConfig> {
-    (
-        30usize..150,        // nodes
-        1usize..5,           // classes
-        0.0f64..1.0,         // homophily
-        0.0f64..1.5,         // imbalance
-        1usize..4,           // subclusters
-        1u64..50,            // seed
-    )
-        .prop_map(|(nodes, classes, homophily, imbalance, subclusters, seed)| SbmConfig {
-            nodes,
-            edges: nodes * 3,
-            feature_dim: 8,
-            num_classes: classes,
-            homophily,
-            class_imbalance: imbalance,
-            subclusters_per_class: subclusters,
-            seed,
-            ..SbmConfig::default()
-        })
+const CASES: u64 = 32;
+
+fn case_rng(salt: u64, case: u64) -> MatRng {
+    MatRng::seed_from(0x6AB4 ^ (salt << 32) ^ case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn arb_cfg(rng: &mut MatRng) -> SbmConfig {
+    let nodes = 30 + rng.index(120);
+    SbmConfig {
+        nodes,
+        edges: nodes * 3,
+        feature_dim: 8,
+        num_classes: 1 + rng.index(4),
+        homophily: f64::from(rng.unit()),
+        class_imbalance: 1.5 * f64::from(rng.unit()),
+        subclusters_per_class: 1 + rng.index(3),
+        seed: 1 + rng.index(49) as u64,
+        ..SbmConfig::default()
+    }
+}
 
-    #[test]
-    fn generated_graphs_are_structurally_valid(cfg in arb_cfg()) {
+#[test]
+fn generated_graphs_are_structurally_valid() {
+    for case in 0..CASES {
+        let cfg = arb_cfg(&mut case_rng(1, case));
         let g = generate_sbm(&cfg);
-        prop_assert_eq!(g.num_nodes(), cfg.nodes);
-        prop_assert_eq!(g.feature_dim(), cfg.feature_dim);
-        prop_assert!(g.labels.iter().all(|&y| y < cfg.num_classes));
+        assert_eq!(g.num_nodes(), cfg.nodes, "case {case}");
+        assert_eq!(g.feature_dim(), cfg.feature_dim, "case {case}");
+        assert!(g.labels.iter().all(|&y| y < cfg.num_classes), "case {case}");
         // Symmetric binary adjacency without self-loops.
         for (i, j, v) in g.adj.iter() {
-            prop_assert_eq!(v, 1.0);
-            prop_assert_ne!(i, j);
-            prop_assert_eq!(g.adj.get(j, i), 1.0);
+            assert_eq!(v, 1.0, "case {case}");
+            assert_ne!(i, j, "case {case}");
+            assert_eq!(g.adj.get(j, i), 1.0, "case {case}");
         }
         // Every class non-empty.
-        prop_assert!(g.class_counts().iter().all(|&c| c > 0));
+        assert!(g.class_counts().iter().all(|&c| c > 0), "case {case}");
     }
+}
 
-    #[test]
-    fn generation_is_deterministic(cfg in arb_cfg()) {
+#[test]
+fn generation_is_deterministic() {
+    for case in 0..CASES {
+        let cfg = arb_cfg(&mut case_rng(2, case));
         let a = generate_sbm(&cfg);
         let b = generate_sbm(&cfg);
-        prop_assert_eq!(a.adj, b.adj);
-        prop_assert_eq!(a.features, b.features);
-        prop_assert_eq!(a.labels, b.labels);
+        assert_eq!(a.adj, b.adj, "case {case}");
+        assert_eq!(a.features, b.features, "case {case}");
+        assert_eq!(a.labels, b.labels, "case {case}");
     }
+}
 
-    #[test]
-    fn induced_subgraph_edge_count_never_grows(cfg in arb_cfg(), frac in 0.2f64..0.9) {
+#[test]
+fn induced_subgraph_edge_count_never_grows() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let cfg = arb_cfg(&mut rng);
+        let frac = 0.2 + 0.7 * f64::from(rng.unit());
         let g = generate_sbm(&cfg);
         let keep: Vec<usize> = (0..g.num_nodes())
             .filter(|i| (i * 7919 % 100) as f64 / 100.0 < frac)
             .collect();
-        prop_assume!(keep.len() >= 2);
+        if keep.len() < 2 {
+            continue;
+        }
         let sub = g.induced_subgraph(&keep);
-        prop_assert!(sub.num_edges() <= g.num_edges());
-        prop_assert_eq!(sub.num_nodes(), keep.len());
+        assert!(sub.num_edges() <= g.num_edges(), "case {case}");
+        assert_eq!(sub.num_nodes(), keep.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn inductive_batches_partition_edges(cfg in arb_cfg()) {
+#[test]
+fn inductive_batches_partition_edges() {
+    for case in 0..CASES {
+        let cfg = arb_cfg(&mut case_rng(4, case));
         let g = generate_sbm(&cfg);
         let n = g.num_nodes();
         // Split: first 60% train, next 20% val, last 20% test (ids as given).
         let train: Vec<usize> = (0..n * 6 / 10).collect();
         let val: Vec<usize> = (n * 6 / 10..n * 8 / 10).collect();
         let test: Vec<usize> = (n * 8 / 10..n).collect();
-        prop_assume!(!test.is_empty() && !train.is_empty());
+        if test.is_empty() || train.is_empty() {
+            continue;
+        }
         let data = InductiveDataset::new(g, train.clone(), val, test.clone());
 
         let batch = data.batch(&test, true);
@@ -83,36 +97,46 @@ proptest! {
         for (pos, tcol, v) in batch.incremental.iter() {
             let full_i = test[pos];
             let full_j = train[tcol];
-            prop_assert_eq!(data.full.adj.get(full_i, full_j), v);
+            assert_eq!(data.full.adj.get(full_i, full_j), v, "case {case}");
         }
         // Interconnections are symmetric within the batch.
         for (a, b, v) in batch.interconnect.iter() {
-            prop_assert_eq!(batch.interconnect.get(b, a), v);
+            assert_eq!(batch.interconnect.get(b, a), v, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn batching_is_stable_under_chunking(cfg in arb_cfg(), chunk in 1usize..20) {
+#[test]
+fn batching_is_stable_under_chunking() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let cfg = arb_cfg(&mut rng);
+        let chunk = 1 + rng.index(19);
         let g = generate_sbm(&cfg);
         let n = g.num_nodes();
         let train: Vec<usize> = (0..n * 7 / 10).collect();
         let test: Vec<usize> = (n * 7 / 10..n).collect();
-        prop_assume!(!test.is_empty());
+        if test.is_empty() {
+            continue;
+        }
         let data = InductiveDataset::new(g, train, vec![], test.clone());
         let batches = data.test_batches(chunk, false);
         let total: usize = batches.iter().map(mcond_graph::NodeBatch::len).sum();
-        prop_assert_eq!(total, test.len());
+        assert_eq!(total, test.len(), "case {case}");
         // Labels concatenate to the test labels in order.
         let labels: Vec<usize> =
             batches.iter().flat_map(|b| b.labels.iter().copied()).collect();
         let expected: Vec<usize> = test.iter().map(|&i| data.full.labels[i]).collect();
-        prop_assert_eq!(labels, expected);
+        assert_eq!(labels, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn homophily_metric_is_a_probability(cfg in arb_cfg()) {
+#[test]
+fn homophily_metric_is_a_probability() {
+    for case in 0..CASES {
+        let cfg = arb_cfg(&mut case_rng(6, case));
         let g = generate_sbm(&cfg);
         let h = g.edge_homophily();
-        prop_assert!((0.0..=1.0).contains(&h));
+        assert!((0.0..=1.0).contains(&h), "case {case}: {h}");
     }
 }

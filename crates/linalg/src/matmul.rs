@@ -8,6 +8,12 @@
 
 use crate::DMat;
 
+/// Reports `2·m·k·n` multiply-add FLOPs to the `linalg.matmul.flops`
+/// counter (one relaxed atomic load when observability is off).
+fn count_flops(m: usize, k: usize, n: usize) {
+    mcond_obs::counter_add("linalg.matmul.flops", 2 * (m as u64) * (k as u64) * (n as u64));
+}
+
 /// Cache block edge. 64 rows/cols of f32 keeps three blocks comfortably in
 /// L1/L2 on commodity CPUs; measured best among {32, 64, 128} in the
 /// workspace's `matmul` Criterion bench.
@@ -30,6 +36,7 @@ impl DMat {
             other.cols()
         );
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        count_flops(m, k, n);
         let mut out = DMat::zeros(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
@@ -68,6 +75,7 @@ impl DMat {
             other.rows()
         );
         let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        count_flops(m, k, n);
         let mut out = DMat::zeros(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
@@ -103,6 +111,7 @@ impl DMat {
             other.cols()
         );
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        count_flops(m, k, n);
         let mut out = DMat::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
@@ -126,6 +135,7 @@ impl DMat {
     #[must_use]
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols(), "matvec: dimension mismatch");
+        count_flops(self.rows(), self.cols(), 1);
         (0..self.rows())
             .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
             .collect()

@@ -3,27 +3,83 @@
 //! All stochastic components in the workspace (parameter init, dataset
 //! synthesis, negative sampling, …) draw from a [`MatRng`] so every
 //! experiment is reproducible from a single `u64` seed.
+//!
+//! The generator is an in-repo xoshiro256++ seeded through splitmix64 —
+//! the workspace builds hermetically with no external crates, and a small
+//! counter-free PRNG with 256 bits of state is more than enough for
+//! initialisation and sampling (this is not a cryptographic source).
 
 use crate::DMat;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded random source for matrices and index sampling.
+///
+/// xoshiro256++ (Blackman & Vigna): 256-bit state, period `2^256 - 1`,
+/// passes BigCrush. State is seeded by streaming the `u64` seed through
+/// splitmix64 so that nearby seeds give uncorrelated streams.
 pub struct MatRng {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl MatRng {
     /// Creates a generator from a fixed seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection, so small ranges stay exactly uniform.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject outputs in the short first stripe (2^64 mod bound values)
+        // to avoid modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            #[allow(clippy::cast_possible_truncation)]
+            if (wide as u64) >= threshold {
+                #[allow(clippy::cast_possible_truncation)]
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
     /// A matrix with i.i.d. entries uniform in `[lo, hi)`.
     #[must_use]
     pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> DMat {
-        let data = (0..rows * cols).map(|_| self.rng.gen_range(lo..hi)).collect();
+        let data = (0..rows * cols).map(|_| lo + (hi - lo) * self.unit()).collect();
         DMat::from_vec(rows, cols, data)
     }
 
@@ -45,8 +101,8 @@ impl MatRng {
     #[must_use]
     pub fn standard_normal(&mut self) -> f32 {
         // Box–Muller: u1 in (0, 1] so ln is finite.
-        let u1: f32 = 1.0 - self.rng.gen::<f32>();
-        let u2: f32 = self.rng.gen();
+        let u1: f32 = 1.0 - self.unit();
+        let u2: f32 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -57,19 +113,25 @@ impl MatRng {
     #[must_use]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "MatRng::index: empty range");
-        self.rng.gen_range(0..n)
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.bounded_u64(n as u64) as usize
+        }
     }
 
-    /// Uniform f32 in `[0, 1)`.
+    /// Uniform f32 in `[0, 1)` (24 high bits of one output).
     #[must_use]
     pub fn unit(&mut self) -> f32 {
-        self.rng.gen()
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }
@@ -84,7 +146,7 @@ impl MatRng {
         assert!(k <= n, "sample_indices: k={k} > n={n}");
         let mut pool: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.rng.gen_range(i..n);
+            let j = i + self.index(n - i);
             pool.swap(i, j);
         }
         pool.truncate(k);
@@ -120,6 +182,33 @@ mod tests {
             m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
         assert!((mean - 1.0).abs() < 0.05, "mean drifted: {mean}");
         assert!((var - 4.0).abs() < 0.2, "variance drifted: {var}");
+    }
+
+    #[test]
+    fn unit_covers_the_interval() {
+        let mut rng = MatRng::seed_from(9);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01, "min {lo}");
+        assert!(hi > 0.99, "max {hi}");
+    }
+
+    #[test]
+    fn index_is_unbiased_on_small_ranges() {
+        let mut rng = MatRng::seed_from(10);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.index(3)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts: {counts:?}");
+        }
     }
 
     #[test]

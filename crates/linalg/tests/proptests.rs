@@ -1,23 +1,28 @@
-//! Property-based tests for the dense algebra substrate.
+//! Property-style tests for the dense algebra substrate.
+//!
+//! Cases are drawn from the workspace's own seeded [`MatRng`] rather than
+//! an external fuzzing crate so the build stays hermetic. Every property
+//! runs over a fixed fan of per-case seeds; assertion messages carry the
+//! case index so a failure replays deterministically.
 
-use mcond_linalg::{approx_eq, DMat};
-use proptest::prelude::*;
+use mcond_linalg::{approx_eq, DMat, MatRng};
 
-fn arb_mat(max_dim: usize) -> impl Strategy<Value = DMat> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |data| DMat::from_vec(r, c, data))
-    })
+const CASES: u64 = 64;
+
+fn case_rng(salt: u64, case: u64) -> MatRng {
+    MatRng::seed_from(0xD0A1 ^ (salt << 32) ^ case)
 }
 
-fn arb_mat_pair(max_dim: usize) -> impl Strategy<Value = (DMat, DMat)> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        let a = proptest::collection::vec(-10.0f32..10.0, r * c);
-        let b = proptest::collection::vec(-10.0f32..10.0, r * c);
-        (a, b).prop_map(move |(da, db)| {
-            (DMat::from_vec(r, c, da), DMat::from_vec(r, c, db))
-        })
-    })
+fn arb_mat(rng: &mut MatRng, max_dim: usize) -> DMat {
+    let r = 1 + rng.index(max_dim);
+    let c = 1 + rng.index(max_dim);
+    rng.uniform(r, c, -10.0, 10.0)
+}
+
+fn arb_mat_pair(rng: &mut MatRng, max_dim: usize) -> (DMat, DMat) {
+    let r = 1 + rng.index(max_dim);
+    let c = 1 + rng.index(max_dim);
+    (rng.uniform(r, c, -10.0, 10.0), rng.uniform(r, c, -10.0, 10.0))
 }
 
 fn mats_close(a: &DMat, b: &DMat, tol: f32) -> bool {
@@ -25,67 +30,96 @@ fn mats_close(a: &DMat, b: &DMat, tol: f32) -> bool {
         && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| approx_eq(*x, *y, tol))
 }
 
-proptest! {
-    #[test]
-    fn transpose_is_involutive(m in arb_mat(12)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involutive() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(1, case), 12);
+        assert_eq!(m.transpose().transpose(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn add_commutes((a, b) in arb_mat_pair(12)) {
-        prop_assert!(mats_close(&a.add(&b), &b.add(&a), 1e-5));
+#[test]
+fn add_commutes() {
+    for case in 0..CASES {
+        let (a, b) = arb_mat_pair(&mut case_rng(2, case), 12);
+        assert!(mats_close(&a.add(&b), &b.add(&a), 1e-5), "case {case}");
     }
+}
 
-    #[test]
-    fn sub_then_add_round_trips((a, b) in arb_mat_pair(12)) {
-        prop_assert!(mats_close(&a.sub(&b).add(&b), &a, 1e-3));
+#[test]
+fn sub_then_add_round_trips() {
+    for case in 0..CASES {
+        let (a, b) = arb_mat_pair(&mut case_rng(3, case), 12);
+        assert!(mats_close(&a.sub(&b).add(&b), &a, 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn scale_distributes_over_add((a, b) in arb_mat_pair(10)) {
+#[test]
+fn scale_distributes_over_add() {
+    for case in 0..CASES {
+        let (a, b) = arb_mat_pair(&mut case_rng(4, case), 10);
         let lhs = a.add(&b).scale(3.0);
         let rhs = a.scale(3.0).add(&b.scale(3.0));
-        prop_assert!(mats_close(&lhs, &rhs, 1e-3));
+        assert!(mats_close(&lhs, &rhs, 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(m in arb_mat(10)) {
+#[test]
+fn matmul_transpose_identity() {
+    for case in 0..CASES {
         // (A Aᵀ)ᵀ == A Aᵀ  (symmetry of Gram matrices)
+        let m = arb_mat(&mut case_rng(5, case), 10);
         let g = m.matmul_nt(&m);
-        prop_assert!(mats_close(&g, &g.transpose(), 1e-3));
+        assert!(mats_close(&g, &g.transpose(), 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_tn_matches_materialized(m in arb_mat(10)) {
+#[test]
+fn matmul_tn_matches_materialized() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(6, case), 10);
         let lhs = m.matmul_tn(&m);
         let rhs = m.transpose().matmul(&m);
-        prop_assert!(mats_close(&lhs, &rhs, 1e-3));
+        assert!(mats_close(&lhs, &rhs, 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_rows_sum_to_one(m in arb_mat(10)) {
+#[test]
+fn softmax_rows_sum_to_one() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(7, case), 10);
         let s = m.softmax_rows();
         for r in s.row_sums() {
-            prop_assert!(approx_eq(r, 1.0, 1e-4));
+            assert!(approx_eq(r, 1.0, 1e-4), "case {case}: row sum {r}");
         }
     }
+}
 
-    #[test]
-    fn relu_is_idempotent(m in arb_mat(12)) {
-        prop_assert_eq!(m.relu().relu(), m.relu());
+#[test]
+fn relu_is_idempotent() {
+    for case in 0..CASES {
+        let m = arb_mat(&mut case_rng(8, case), 12);
+        assert_eq!(m.relu().relu(), m.relu(), "case {case}");
     }
+}
 
-    #[test]
-    fn l21_norm_triangle((a, b) in arb_mat_pair(10)) {
+#[test]
+fn l21_norm_triangle() {
+    for case in 0..CASES {
+        let (a, b) = arb_mat_pair(&mut case_rng(9, case), 10);
         let lhs = a.add(&b).l21_norm();
         let rhs = a.l21_norm() + b.l21_norm();
-        prop_assert!(lhs <= rhs + 1e-2 * rhs.abs().max(1.0));
+        assert!(lhs <= rhs + 1e-2 * rhs.abs().max(1.0), "case {case}: {lhs} > {rhs}");
     }
+}
 
-    #[test]
-    fn select_rows_matches_get(m in arb_mat(8), seed in 0usize..8) {
-        let idx = vec![seed % m.rows()];
+#[test]
+fn select_rows_matches_get() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let m = arb_mat(&mut rng, 8);
+        let idx = vec![rng.index(m.rows())];
         let s = m.select_rows(&idx);
-        prop_assert_eq!(s.row(0), m.row(idx[0]));
+        assert_eq!(s.row(0), m.row(idx[0]), "case {case}");
     }
 }

@@ -1,0 +1,52 @@
+//! Observability substrate for the `mcond` workspace.
+//!
+//! Everything the condense→train→serve pipeline reports — hierarchical
+//! timing spans, per-step losses, kernel work counters, serving latency
+//! histograms — flows through this crate. It is deliberately dependency-free
+//! (std only): the workspace builds hermetically, so even JSON encoding is
+//! in-repo ([`json::Json`]).
+//!
+//! # Model
+//!
+//! * **Spans** ([`span`], [`span_with`]) are RAII guards over a
+//!   thread-local stack; closing one emits a `span` record with its
+//!   wall-clock duration and slash-joined path.
+//! * **Points** ([`point`]) are one-shot named measurements with structured
+//!   fields (losses per step, sparsification counts, …).
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_record`])
+//!   aggregate in a global registry; [`snapshot`] freezes them into a
+//!   [`MetricsSnapshot`] for reports and [`emit_snapshot`] writes them to
+//!   the event log.
+//!
+//! # Sinks
+//!
+//! Configured once from the environment (see [`sink`] docs): `MCOND_LOG`
+//! selects the destination (`off` default, `stderr`, `pretty`, `jsonl`, or
+//! a file path) and `MCOND_LOG_FORMAT` forces `pretty` or `jsonl`. With no
+//! sink every probe is one relaxed atomic load — the hot kernels rely on
+//! this being free.
+//!
+//! # Example
+//! ```
+//! let _capture = mcond_obs::testing::capture();
+//! {
+//!     let mut s = mcond_obs::span_with("demo", vec![("n", 4u64.into())]);
+//!     mcond_obs::point("demo.step", &[("loss", 0.5f32.into())]);
+//!     s.record("result", 1u64);
+//! }
+//! let lines = _capture.parsed_lines();
+//! assert_eq!(lines.len(), 3); // span_start, point, span
+//! ```
+
+pub mod json;
+mod metrics;
+mod sink;
+mod span;
+
+pub use json::Json;
+pub use metrics::{
+    counter_add, emit_snapshot, gauge_set, histogram_record, reset_metrics, snapshot, Histogram,
+    HistogramSummary, MetricsSnapshot,
+};
+pub use sink::{enable_metrics, enabled, metrics_on, point, testing, thread_id, Field, LogFormat};
+pub use span::{span, span_with, SpanGuard};

@@ -1,0 +1,361 @@
+//! Named counters, gauges, and histograms with a process-global registry.
+//!
+//! Kernels report work here (`linalg.matmul.flops`, `sparse.spmm.nnz`, …)
+//! and serving paths record latency distributions. Recording is gated on
+//! [`crate::metrics_on`], so with no sink and no explicit opt-in every call
+//! is a single atomic load. [`snapshot`] freezes the registry into a
+//! [`MetricsSnapshot`] that serialises to JSON — the unit the bench harness
+//! folds into its result dumps and `emit_snapshot` writes to the event log.
+
+use crate::json::Json;
+use crate::sink::{emit, enabled, metrics_on, Record};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A log-bucketed histogram of non-negative samples.
+///
+/// Buckets are powers of two (bucket `i` holds values in `[2^(i-1), 2^i)`,
+/// bucket 0 holds `[0, 1)`), which gives ~2x-resolution quantiles over any
+/// range without configuration — plenty for latency and fanout tracking.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, buckets: Vec::new() }
+    }
+
+    /// Records one sample (negative samples clamp to zero).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += *src;
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) from the bucket boundaries;
+    /// exact for min/max, within one power of two otherwise.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64).min(self.count - 1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                // Upper edge of bucket i, clamped to the observed range.
+                let edge = if i == 0 { 1.0 } else { 2f64.powi(i32::try_from(i).unwrap_or(i32::MAX)) };
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Freezes into the summary statistics used in reports.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: if self.count == 0 { 0.0 } else { self.sum / self.count as f64 },
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v < 1.0 {
+        0
+    } else {
+        // 1 + floor(log2(v)), capped to a sane bucket count.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = 1 + v.log2().floor() as usize;
+        idx.min(128)
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// JSON object with every summary statistic.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("mean", self.mean)
+            .with("min", self.min)
+            .with("max", self.max)
+            .with("p50", self.p50)
+            .with("p90", self.p90)
+            .with("p99", self.p99)
+    }
+}
+
+/// A frozen copy of metric state, ready for reporting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters (name, total).
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges (name, value).
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries (name, summary).
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// JSON object `{counters: {...}, gauges: {...}, histograms: {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters.insert(k, *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges.insert(k, *v);
+        }
+        let mut histograms = Json::obj();
+        for (k, v) in &self.histograms {
+            histograms.insert(k, v.to_json());
+        }
+        Json::obj()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+
+    /// Counter total by name (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram summary by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Adds `delta` to the named counter. No-op unless metrics are on.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !metrics_on() {
+        return;
+    }
+    *registry().counters.entry(name).or_insert(0) += delta;
+}
+
+/// Sets the named gauge. No-op unless metrics are on.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !metrics_on() {
+        return;
+    }
+    registry().gauges.insert(name, value);
+}
+
+/// Records a sample into the named histogram. No-op unless metrics are on.
+pub fn histogram_record(name: &'static str, value: f64) {
+    if !metrics_on() {
+        return;
+    }
+    registry().histograms.entry(name).or_default().record(value);
+}
+
+/// Freezes the global registry into a snapshot.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    MetricsSnapshot {
+        counters: reg.counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        gauges: reg.gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        histograms: reg.histograms.iter().map(|(k, v)| ((*k).to_owned(), v.summary())).collect(),
+    }
+}
+
+/// Clears every counter, gauge, and histogram.
+pub fn reset_metrics() {
+    let mut reg = registry();
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+}
+
+/// Writes the current registry snapshot to the event log as a `metrics`
+/// record labelled `name`. No-op when the sink is disabled.
+pub fn emit_snapshot(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let snap = snapshot();
+    emit(&Record {
+        kind: "metrics",
+        name,
+        path: None,
+        dur_us: None,
+        depth: 0,
+        fields: &[],
+        payload: Some(snap.to_json()),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_moments_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(f64::from(v));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        // Log buckets: the median estimate lands within a factor of two.
+        assert!(s.p50 >= 32.0 && s.p50 <= 100.0, "p50 {}", s.p50);
+        assert!(s.p99 >= s.p50);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0.5, 3.0, 17.0, 200.0] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1.5, 9.0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min, s.max, s.mean, s.p50), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        let snap = MetricsSnapshot {
+            counters: vec![("flops".into(), 42)],
+            gauges: vec![("loss".into(), 0.5)],
+            histograms: vec![("lat".into(), h.summary())],
+        };
+        let j = snap.to_json();
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("flops")).and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            j.get("histograms")
+                .and_then(|h| h.get("lat"))
+                .and_then(|l| l.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(snap.counter("flops"), 42);
+        assert_eq!(snap.counter("missing"), 0);
+        assert!(snap.histogram("lat").is_some());
+    }
+}

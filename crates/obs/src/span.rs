@@ -1,0 +1,95 @@
+//! Hierarchical RAII spans over a thread-local stack.
+//!
+//! A [`SpanGuard`] pushes its name on creation and pops on drop, emitting a
+//! `span_start` event when it opens and a `span` event (with the measured
+//! wall-clock duration) when it closes. Nesting is tracked per thread, so
+//! concurrent pipelines interleave cleanly in the log — each record carries
+//! the thread id and the slash-joined path of the enclosing spans.
+
+use crate::sink::{emit, enabled, Field, Record};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Depth of the current thread's span stack.
+#[must_use]
+pub(crate) fn current_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
+
+/// An active span; closing (dropping) it emits the timing record.
+/// Inert — a single branch — when the sink is disabled.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, Field)>,
+}
+
+/// Opens a span named `name` on this thread's stack.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, Vec::new())
+}
+
+/// Opens a span carrying structured fields (emitted on both the start and
+/// end records).
+#[must_use]
+pub fn span_with(name: &'static str, fields: Vec<(&'static str, Field)>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start: None, fields: Vec::new() };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    let depth = current_depth() - 1;
+    let path = current_path();
+    emit(&Record {
+        kind: "span_start",
+        name,
+        path: Some(&path),
+        dur_us: None,
+        depth,
+        fields: &fields,
+        payload: None,
+    });
+    SpanGuard { name, start: Some(Instant::now()), fields }
+}
+
+impl SpanGuard {
+    /// Adds a field to the closing record (e.g. a result computed inside
+    /// the span). No-op on an inert guard.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Field>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let path = current_path();
+        let depth = current_depth() - 1;
+        emit(&Record {
+            kind: "span",
+            name: self.name,
+            path: Some(&path),
+            dur_us: Some(dur_us),
+            depth,
+            fields: &self.fields,
+            payload: None,
+        });
+        STACK.with(|s| {
+            let popped = s.borrow_mut().pop();
+            debug_assert_eq!(popped, Some(self.name), "span stack corrupted");
+        });
+    }
+}

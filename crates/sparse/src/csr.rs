@@ -17,6 +17,15 @@ pub struct Csr {
     vals: Vec<f32>,
 }
 
+
+/// Reports SpMM work to the observability counters: nonzeros touched and
+/// an estimate of bytes moved (index + value per nnz, plus one dense row of
+/// `d` f32 values read and written per nnz).
+fn count_spmm(nnz: usize, d: usize) {
+    mcond_obs::counter_add("sparse.spmm.nnz", nnz as u64);
+    mcond_obs::counter_add("sparse.spmm.bytes", (nnz * (8 + 8 * d)) as u64);
+}
+
 impl Csr {
     /// Builds from raw CSR arrays. Callers must uphold the sortedness and
     /// uniqueness invariants; prefer [`Coo::to_csr`].
@@ -138,6 +147,7 @@ impl Csr {
             rhs.cols()
         );
         let d = rhs.cols();
+        count_spmm(self.nnz(), d);
         let mut out = DMat::zeros(self.rows, d);
         for i in 0..self.rows {
             let out_row = out.row_mut(i);
@@ -160,6 +170,7 @@ impl Csr {
     pub fn spmm_t(&self, rhs: &DMat) -> DMat {
         assert_eq!(rhs.rows(), self.rows, "spmm_t: row mismatch");
         let d = rhs.cols();
+        count_spmm(self.nnz(), d);
         let mut out = DMat::zeros(self.cols_n, d);
         for i in 0..self.rows {
             let src = rhs.row(i);

@@ -1,16 +1,25 @@
-//! Property tests: sparse algebra must agree with the dense reference.
+//! Property-style tests: sparse algebra must agree with the dense
+//! reference. Cases come from the workspace's seeded [`MatRng`] (no
+//! external fuzzing crate — the build is hermetic); assertion messages
+//! carry the case index for deterministic replay.
 
-use mcond_linalg::{approx_eq, DMat};
+use mcond_linalg::{approx_eq, DMat, MatRng};
 use mcond_sparse::{row_normalize_dense, sparsify_dense, sym_normalize, Coo, Csr};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
+
+fn case_rng(salt: u64, case: u64) -> MatRng {
+    MatRng::seed_from(0x5AA5 ^ (salt << 32) ^ case)
+}
 
 /// Random sparse square matrix as (n, entries).
-fn arb_sparse(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f32)>)> {
-    (2..=max_n).prop_flat_map(|n| {
-        let entry = (0..n, 0..n, -5.0f32..5.0);
-        proptest::collection::vec(entry, 0..n * 3)
-            .prop_map(move |entries| (n, entries))
-    })
+fn arb_sparse(rng: &mut MatRng, max_n: usize) -> (usize, Vec<(usize, usize, f32)>) {
+    let n = 2 + rng.index(max_n - 1);
+    let count = rng.index(n * 3);
+    let entries = (0..count)
+        .map(|_| (rng.index(n), rng.index(n), 10.0 * rng.unit() - 5.0))
+        .collect();
+    (n, entries)
 }
 
 fn build(n: usize, entries: &[(usize, usize, f32)]) -> Csr {
@@ -21,43 +30,56 @@ fn build(n: usize, entries: &[(usize, usize, f32)]) -> Csr {
     coo.to_csr()
 }
 
-proptest! {
-    #[test]
-    fn spmm_equals_dense_matmul((n, entries) in arb_sparse(12)) {
+#[test]
+fn spmm_equals_dense_matmul() {
+    for case in 0..CASES {
+        let (n, entries) = arb_sparse(&mut case_rng(1, case), 12);
         let csr = build(n, &entries);
         let x = DMat::from_vec(n, 3, (0..n * 3).map(|i| (i % 7) as f32 - 3.0).collect());
         let sparse = csr.spmm(&x);
         let dense = csr.to_dense().matmul(&x);
         for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
-            prop_assert!(approx_eq(*a, *b, 1e-3), "{} vs {}", a, b);
+            assert!(approx_eq(*a, *b, 1e-3), "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn dense_round_trip((n, entries) in arb_sparse(10)) {
+#[test]
+fn dense_round_trip() {
+    for case in 0..CASES {
+        let (n, entries) = arb_sparse(&mut case_rng(2, case), 10);
         let csr = build(n, &entries);
-        prop_assert_eq!(Csr::from_dense(&csr.to_dense()), csr);
+        assert_eq!(Csr::from_dense(&csr.to_dense()), csr, "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_involutive((n, entries) in arb_sparse(10)) {
+#[test]
+fn transpose_involutive() {
+    for case in 0..CASES {
+        let (n, entries) = arb_sparse(&mut case_rng(3, case), 10);
         let csr = build(n, &entries);
-        prop_assert_eq!(csr.transpose().transpose(), csr);
+        assert_eq!(csr.transpose().transpose(), csr, "case {case}");
     }
+}
 
-    #[test]
-    fn spmm_t_is_transpose_spmm((n, entries) in arb_sparse(10)) {
+#[test]
+fn spmm_t_is_transpose_spmm() {
+    for case in 0..CASES {
+        let (n, entries) = arb_sparse(&mut case_rng(4, case), 10);
         let csr = build(n, &entries);
         let x = DMat::from_vec(n, 2, (0..n * 2).map(|i| i as f32 * 0.1).collect());
         let a = csr.spmm_t(&x);
         let b = csr.transpose().spmm(&x);
         for (x1, x2) in a.as_slice().iter().zip(b.as_slice()) {
-            prop_assert!(approx_eq(*x1, *x2, 1e-3));
+            assert!(approx_eq(*x1, *x2, 1e-3), "case {case}: {x1} vs {x2}");
         }
     }
+}
 
-    #[test]
-    fn sym_normalize_rows_bounded((n, entries) in arb_sparse(10)) {
+#[test]
+fn sym_normalize_rows_bounded() {
+    for case in 0..CASES {
+        let (n, entries) = arb_sparse(&mut case_rng(5, case), 10);
         // Use |v| so weights are non-negative like real graphs.
         let mut coo = Coo::new(n, n);
         for &(i, j, v) in &entries {
@@ -68,45 +90,56 @@ proptest! {
         let norm = sym_normalize(&coo.to_csr());
         // Every value of D^-1/2 Ã D^-1/2 lies in [0, 1].
         for (_, _, v) in norm.iter() {
-            prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "out of range: {}", v);
+            assert!((0.0..=1.0 + 1e-5).contains(&v), "case {case}: out of range {v}");
         }
     }
+}
 
-    #[test]
-    fn sparsify_never_keeps_below_threshold(
-        rows in 1usize..8, cols in 1usize..8, t in 0.0f32..1.0,
-        seed in proptest::collection::vec(0.0f32..1.0, 64)
-    ) {
-        let m = DMat::from_vec(rows, cols, seed[..rows * cols].to_vec());
+#[test]
+fn sparsify_never_keeps_below_threshold() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let rows = 1 + rng.index(7);
+        let cols = 1 + rng.index(7);
+        let t = rng.unit();
+        let m = rng.uniform(rows, cols, 0.0, 1.0);
         let (csr, stats) = sparsify_dense(&m, t);
         for (_, _, v) in csr.iter() {
-            prop_assert!(v >= t);
+            assert!(v >= t, "case {case}: kept {v} below threshold {t}");
         }
-        prop_assert_eq!(stats.kept + stats.dropped, rows * cols);
-        prop_assert_eq!(csr.nnz(), stats.kept);
+        assert_eq!(stats.kept + stats.dropped, rows * cols, "case {case}");
+        assert_eq!(csr.nnz(), stats.kept, "case {case}");
     }
+}
 
-    #[test]
-    fn row_normalize_rows_sum_to_one_or_zero(
-        rows in 1usize..6, cols in 1usize..6,
-        seed in proptest::collection::vec(0.0f32..1.0, 36)
-    ) {
-        let m = DMat::from_vec(rows, cols, seed[..rows * cols].to_vec());
+#[test]
+fn row_normalize_rows_sum_to_one_or_zero() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let rows = 1 + rng.index(5);
+        let cols = 1 + rng.index(5);
+        let m = rng.uniform(rows, cols, 0.0, 1.0);
         let r = row_normalize_dense(&m);
         for i in 0..rows {
             let s: f32 = r.row(i).iter().sum();
-            prop_assert!(approx_eq(s, 1.0, 1e-4) || approx_eq(s, 0.0, 1e-6));
+            assert!(
+                approx_eq(s, 1.0, 1e-4) || approx_eq(s, 0.0, 1e-6),
+                "case {case}: row {i} sums to {s}"
+            );
         }
     }
+}
 
-    #[test]
-    fn induced_subgraph_entries_match((n, entries) in arb_sparse(10)) {
+#[test]
+fn induced_subgraph_entries_match() {
+    for case in 0..CASES {
+        let (n, entries) = arb_sparse(&mut case_rng(8, case), 10);
         let csr = build(n, &entries);
         let keep: Vec<usize> = (0..n).step_by(2).collect();
         let sub = csr.induced_subgraph(&keep);
         for (si, &oi) in keep.iter().enumerate() {
             for (sj, &oj) in keep.iter().enumerate() {
-                prop_assert_eq!(sub.get(si, sj), csr.get(oi, oj));
+                assert_eq!(sub.get(si, sj), csr.get(oi, oj), "case {case}: ({si},{sj})");
             }
         }
     }
