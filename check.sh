@@ -18,8 +18,16 @@ do
     fi
 done
 
+# The 4-thread test pass exists in CI too; its command is the same
+# `cargo test --workspace` line, so guard on the env stanza instead.
+if ! grep -q 'MCOND_THREADS: "4"' "$WORKFLOW"; then
+    echo "DRIFT: $WORKFLOW is missing the MCOND_THREADS=4 test pass." >&2
+    exit 1
+fi
+
 cargo fmt --all --check 2>/dev/null || echo "note: rustfmt not enforced (formatting is hand-maintained)"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
+MCOND_THREADS=4 cargo test --workspace
 cargo bench --workspace --no-run
 echo "all checks passed"

@@ -2,7 +2,7 @@
 
 use crate::tape::{Op, Tape, Var};
 use mcond_linalg::DMat;
-use std::rc::Rc;
+use std::sync::Arc;
 
 impl Tape {
     /// `a · b`.
@@ -97,7 +97,7 @@ impl Tape {
     }
 
     /// Row gather of `a` by `indices` (duplicates allowed).
-    pub fn select_rows(&mut self, a: Var, indices: Rc<Vec<usize>>) -> Var {
+    pub fn select_rows(&mut self, a: Var, indices: Arc<Vec<usize>>) -> Var {
         let value = self.value(a).select_rows(&indices);
         let rg = self.rg(a.0);
         self.push(value, Op::SelectRows(a.0, indices), rg, None)

@@ -5,7 +5,7 @@
 use crate::tape::{Op, Tape, Var};
 use mcond_linalg::DMat;
 use mcond_sparse::Csr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 impl Tape {
     /// `S · b` where `S` is a constant sparse matrix — the message-passing
@@ -13,7 +13,7 @@ impl Tape {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
-    pub fn spmm(&mut self, s: Rc<Csr>, b: Var) -> Var {
+    pub fn spmm(&mut self, s: Arc<Csr>, b: Var) -> Var {
         let value = s.spmm(self.value(b));
         let rg = self.rg(b.0);
         self.push(value, Op::SpMM(s, b.0), rg, None)

@@ -4,14 +4,14 @@
 
 use crate::tape::{Op, Tape, Var};
 use mcond_linalg::DMat;
-use std::rc::Rc;
+use std::sync::Arc;
 
 impl Tape {
     /// Mean softmax cross-entropy of `logits` against integer `labels`.
     ///
     /// # Panics
     /// Panics when `labels.len() != logits.rows()`.
-    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: Rc<Vec<usize>>) -> Var {
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: Arc<Vec<usize>>) -> Var {
         let x = self.value(logits);
         assert_eq!(labels.len(), x.rows(), "softmax_cross_entropy: label count");
         let probs = x.softmax_rows();
@@ -36,7 +36,7 @@ impl Tape {
     /// cross-entropy weight gradient is exactly `Zᵀ E`, so building `E` as a
     /// tape op lets gradient matching differentiate through the relay
     /// gradient analytically (the `create_graph=True` trick, exact for SGC).
-    pub fn softmax_error(&mut self, logits: Var, labels: Rc<Vec<usize>>) -> Var {
+    pub fn softmax_error(&mut self, logits: Var, labels: Arc<Vec<usize>>) -> Var {
         let x = self.value(logits);
         assert_eq!(labels.len(), x.rows(), "softmax_error: label count");
         let probs = x.softmax_rows();
@@ -112,7 +112,7 @@ impl Tape {
     ///
     /// # Panics
     /// Panics on an empty batch or out-of-range indices.
-    pub fn pair_bce(&mut self, h: Var, pairs: Rc<Vec<(u32, u32, f32)>>) -> Var {
+    pub fn pair_bce(&mut self, h: Var, pairs: Arc<Vec<(u32, u32, f32)>>) -> Var {
         assert!(!pairs.is_empty(), "pair_bce: empty batch");
         let x = self.value(h);
         let n = x.rows();

@@ -2,7 +2,7 @@
 
 use mcond_linalg::DMat;
 use mcond_sparse::Csr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
 ///
@@ -23,7 +23,7 @@ pub(crate) enum Op {
     /// `A · B`.
     MatMul(usize, usize),
     /// `S · B` with a constant sparse left factor.
-    SpMM(Rc<Csr>, usize),
+    SpMM(Arc<Csr>, usize),
     /// `A + B`.
     Add(usize, usize),
     /// `A - B`.
@@ -50,7 +50,7 @@ pub(crate) enum Op {
     /// Rows `lo..hi` of `A`.
     SliceRows(usize, usize, usize),
     /// Row gather by index list (duplicates allowed).
-    SelectRows(usize, Rc<Vec<usize>>),
+    SelectRows(usize, Arc<Vec<usize>>),
     /// `A + 1·bias`: adds a `1 x d` bias row to every row of `A`.
     AddRowBroadcast(usize, usize),
     /// `Y_ij = X_ij / Σ_k X_ik` (zero rows preserved).
@@ -65,11 +65,11 @@ pub(crate) enum Op {
     PairMeanSym(usize),
     /// Scalar softmax cross-entropy of logits vs integer labels (mean over
     /// rows).
-    SoftmaxCrossEntropy(usize, Rc<Vec<usize>>),
+    SoftmaxCrossEntropy(usize, Arc<Vec<usize>>),
     /// `(softmax(X) - onehot(labels)) / N` — the *gradient error* matrix `E`
     /// such that the analytic SGC weight gradient is `ZᵀE` (Eq. 4 inner
     /// term).
-    SoftmaxError(usize, Rc<Vec<usize>>),
+    SoftmaxError(usize, Arc<Vec<usize>>),
     /// Scalar L2,1 norm: `Σ_i ‖X_i‖₂` (Eq. 10 / Eq. 12).
     L21(usize),
     /// Scalar Frobenius norm `‖X‖_F` — the L2 gradient-distance ablation.
@@ -78,7 +78,7 @@ pub(crate) enum Op {
     CosineColDist(usize, usize),
     /// Scalar binary cross-entropy over sampled node pairs `(i, j, target)`
     /// with logits `H_i · H_j` (Eq. 8 with negative samples).
-    PairBce(usize, Rc<Vec<(u32, u32, f32)>>),
+    PairBce(usize, Arc<Vec<(u32, u32, f32)>>),
     /// Scalar mean of all entries.
     MeanAll(usize),
 }

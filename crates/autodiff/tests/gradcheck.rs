@@ -7,7 +7,7 @@
 use mcond_autodiff::check::assert_gradients_match;
 use mcond_linalg::{DMat, MatRng};
 use mcond_sparse::Coo;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn small(rows: usize, cols: usize, seed: u64) -> DMat {
     MatRng::seed_from(seed).uniform(rows, cols, -1.0, 1.0)
@@ -40,10 +40,10 @@ fn spmm_rhs() {
     coo.push(1, 0, -1.0);
     coo.push(3, 2, 0.5);
     coo.push(2, 1, 1.5);
-    let s = Rc::new(coo.to_csr());
+    let s = Arc::new(coo.to_csr());
     assert_gradients_match(&small(3, 2, 4), 1e-2, 2e-2, |t, p| {
         let b = t.param(p);
-        let y = t.spmm(Rc::clone(&s), b);
+        let y = t.spmm(Arc::clone(&s), b);
         let l = t.l21(y);
         (b, l)
     });
@@ -89,7 +89,7 @@ fn structural_ops() {
         let tr = t.transpose(v); // 4 x 5
         let h = t.hstack(tr, tr); // 4 x 10
         let s = t.slice_rows(h, 1, 4); // 3 x 10
-        let sel = t.select_rows(s, Rc::new(vec![0, 2, 2, 1]));
+        let sel = t.select_rows(s, Arc::new(vec![0, 2, 2, 1]));
         let l = t.l21(sel);
         (a, l)
     });
@@ -147,10 +147,10 @@ fn pair_concat_and_mean_sym() {
 
 #[test]
 fn softmax_cross_entropy_grad() {
-    let labels = Rc::new(vec![0usize, 2, 1, 2]);
+    let labels = Arc::new(vec![0usize, 2, 1, 2]);
     assert_gradients_match(&small(4, 3, 16), 1e-2, 2e-2, |t, p| {
         let logits = t.param(p);
-        let l = t.softmax_cross_entropy(logits, Rc::clone(&labels));
+        let l = t.softmax_cross_entropy(logits, Arc::clone(&labels));
         (logits, l)
     });
 }
@@ -158,14 +158,14 @@ fn softmax_cross_entropy_grad() {
 #[test]
 fn softmax_error_second_order_path() {
     // The gradient-matching path: loss = distance(const, ZᵀE(ZW)).
-    let labels = Rc::new(vec![1usize, 0, 1]);
+    let labels = Arc::new(vec![1usize, 0, 1]);
     let w0 = small(2, 2, 17);
     let target = small(2, 2, 18);
     assert_gradients_match(&small(3, 2, 19), 1e-2, 4e-2, |t, p| {
         let z = t.param(p);
         let w = t.constant(w0.clone());
         let logits = t.matmul(z, w);
-        let e = t.softmax_error(logits, Rc::clone(&labels));
+        let e = t.softmax_error(logits, Arc::clone(&labels));
         let zt = t.transpose(z);
         let g = t.matmul(zt, e); // analytic SGC weight gradient
         let tgt = t.constant(target.clone());
@@ -215,10 +215,10 @@ fn cosine_col_dist_both_sides() {
 
 #[test]
 fn pair_bce_grad() {
-    let pairs = Rc::new(vec![(0u32, 1u32, 1.0f32), (1, 2, 0.0), (0, 2, 1.0), (2, 2, 0.0)]);
+    let pairs = Arc::new(vec![(0u32, 1u32, 1.0f32), (1, 2, 0.0), (0, 2, 1.0), (2, 2, 0.0)]);
     assert_gradients_match(&small(3, 4, 25), 1e-2, 3e-2, |t, p| {
         let h = t.param(p);
-        let l = t.pair_bce(h, Rc::clone(&pairs));
+        let l = t.pair_bce(h, Arc::clone(&pairs));
         (h, l)
     });
 }
@@ -249,20 +249,20 @@ fn composite_two_layer_gcn_like_network() {
     for &(i, j) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)] {
         coo.push_sym(i, j, 1.0);
     }
-    let adj = Rc::new(mcond_sparse::sym_normalize(&coo.to_csr()));
+    let adj = Arc::new(mcond_sparse::sym_normalize(&coo.to_csr()));
     let x0 = small(5, 3, 28);
     let w2 = small(4, 2, 29);
-    let labels = Rc::new(vec![0usize, 1, 0, 1, 0]);
+    let labels = Arc::new(vec![0usize, 1, 0, 1, 0]);
     assert_gradients_match(&small(3, 4, 30), 1e-2, 4e-2, |t, p| {
         let x = t.constant(x0.clone());
         let w1 = t.param(p);
         let xw = t.matmul(x, w1);
-        let h1 = t.spmm(Rc::clone(&adj), xw);
+        let h1 = t.spmm(Arc::clone(&adj), xw);
         let h1 = t.relu(h1);
         let w2v = t.constant(w2.clone());
         let h2 = t.matmul(h1, w2v);
-        let logits = t.spmm(Rc::clone(&adj), h2);
-        let l = t.softmax_cross_entropy(logits, Rc::clone(&labels));
+        let logits = t.spmm(Arc::clone(&adj), h2);
+        let l = t.softmax_cross_entropy(logits, Arc::clone(&labels));
         (w1, l)
     });
 }

@@ -149,7 +149,7 @@ fn cross_entropy_bounds() {
         let cols = 2 + rng.index(3);
         let mut tape = Tape::new();
         let logits = tape.param(DMat::zeros(rows, cols));
-        let labels = std::rc::Rc::new((0..rows).map(|i| i % cols).collect::<Vec<_>>());
+        let labels = std::sync::Arc::new((0..rows).map(|i| i % cols).collect::<Vec<_>>());
         let l = tape.softmax_cross_entropy(logits, labels);
         let v = tape.scalar(l);
         assert!(v >= 0.0, "case {case}");

@@ -3,7 +3,7 @@
 
 use mcond_autodiff::Tape;
 use mcond_linalg::{approx_eq, DMat};
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn tape_length_tracks_recorded_nodes() {
@@ -133,7 +133,7 @@ fn cleared_tape_can_be_reused() {
 fn select_rows_with_duplicates_doubles_gradient() {
     let mut tape = Tape::new();
     let x = tape.param(DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
-    let sel = tape.select_rows(x, Rc::new(vec![0, 0]));
+    let sel = tape.select_rows(x, Arc::new(vec![0, 0]));
     let l = tape.l21(sel);
     let grads = tape.backward(l);
     let g = grads.get(x).unwrap();

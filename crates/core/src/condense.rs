@@ -10,7 +10,7 @@ use mcond_autodiff::{Adam, Tape};
 use mcond_graph::{Graph, InductiveDataset};
 use mcond_linalg::{DMat, MatRng};
 use mcond_sparse::{sparsify_dense, sym_normalize, Csr};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Distance used to compare relay gradients in the matching objective.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -214,7 +214,7 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
     // Small jitter so repeated rows are not identical.
     let jitter = rng.normal(x_syn.rows(), x_syn.cols(), 0.0, 0.01);
     x_syn.add_assign(&jitter);
-    let labels_syn_rc = Rc::new(labels_syn.clone());
+    let labels_syn_rc = Arc::new(labels_syn.clone());
 
     // --- Original-graph precomputation. -----------------------------------
     let ahat = sym_normalize(&original.adj);
@@ -226,9 +226,9 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
     // --- Per-class row indices for per-class gradient matching. ------------
     let orig_class_rows: Vec<Vec<usize>> =
         (0..c).map(|class| original.class_members(class)).collect();
-    let syn_class_rows: Vec<Rc<Vec<usize>>> = (0..c)
+    let syn_class_rows: Vec<Arc<Vec<usize>>> = (0..c)
         .map(|class| {
-            Rc::new(
+            Arc::new(
                 labels_syn
                     .iter()
                     .enumerate()
@@ -313,11 +313,11 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
                     let z_orig_c = z_orig.select_rows(&orig_class_rows[class]);
                     let labels_c = vec![class; orig_class_rows[class].len()];
                     let g_orig_c = relay.gradient(&z_orig_c, &labels_c);
-                    let z_c = tape.select_rows(z, Rc::clone(rows_syn));
+                    let z_c = tape.select_rows(z, Arc::clone(rows_syn));
                     let g_syn_c = relay.gradient_on_tape(
                         &mut tape,
                         z_c,
-                        Rc::new(vec![class; rows_syn.len()]),
+                        Arc::new(vec![class; rows_syn.len()]),
                     );
                     let target = tape.constant(g_orig_c);
                     let dist = distance(&mut tape, target, g_syn_c);
@@ -331,7 +331,7 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
             } else {
                 let g_orig = relay.gradient(&z_orig, &original.labels);
                 let g_syn =
-                    relay.gradient_on_tape(&mut tape, z, Rc::clone(&labels_syn_rc));
+                    relay.gradient_on_tape(&mut tape, z, Arc::clone(&labels_syn_rc));
                 let g_target = tape.constant(g_orig);
                 distance(&mut tape, g_target, g_syn)
             };
@@ -358,7 +358,7 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
                     batch.iter().map(|&(i, j, t)| (local_of(i), local_of(j), t)).collect();
                 let m_const = tape.constant(m_norm.select_rows(&ids));
                 let h_tilde = tape.matmul(m_const, z);
-                let l_str = tape.pair_bce(h_tilde, Rc::new(local_batch));
+                let l_str = tape.pair_bce(h_tilde, Arc::new(local_batch));
                 history.structure_loss.push(tape.scalar(l_str));
                 let weighted = tape.scale(l_str, cfg.lambda);
                 tape.add(l_gra, weighted)
@@ -425,8 +425,8 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
                 // product per step is prohibitive.
                 let (m_rows, h_rows, rows_used) =
                     if cfg.transductive_batch > 0 && cfg.transductive_batch < n {
-                        let ids = Rc::new(rng.sample_indices(n, cfg.transductive_batch));
-                        let m_sel = tape.select_rows(m_hat, Rc::clone(&ids));
+                        let ids = Arc::new(rng.sample_indices(n, cfg.transductive_batch));
+                        let m_sel = tape.select_rows(m_hat, Arc::clone(&ids));
                         let h_sel = h_orig.select_rows(&ids);
                         (m_sel, h_sel, cfg.transductive_batch)
                     } else {
@@ -444,7 +444,7 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
                     (Some(sup), Some(h_sup_target), true) => {
                         // L_ind (Eq. 11–12): connect support nodes to S
                         // through aM̂ and compare embeddings.
-                        let am = tape.spmm(Rc::new(sup.incremental.clone()), m_hat);
+                        let am = tape.spmm(Arc::new(sup.incremental.clone()), m_hat);
                         let a_syn_c = tape.constant(adj_syn_det.clone());
                         let am_t = tape.transpose(am);
                         let top = tape.hstack(a_syn_c, am_t);

@@ -10,7 +10,7 @@
 
 use mcond_autodiff::{Adam, Tape, Var};
 use mcond_linalg::{DMat, MatRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A relay SGC model: one weight `d x C` and one bias `1 x C`.
 pub struct Relay {
@@ -59,7 +59,7 @@ impl Relay {
     /// Tape expression of the same stacked gradient for a *variable*
     /// pre-propagated feature node `z` (the synthetic side of Eq. 4).
     /// `w`/`b` enter as constants — the relay is frozen while `S` updates.
-    pub fn gradient_on_tape(&self, tape: &mut Tape, z: Var, labels: Rc<Vec<usize>>) -> Var {
+    pub fn gradient_on_tape(&self, tape: &mut Tape, z: Var, labels: Arc<Vec<usize>>) -> Var {
         let w = tape.constant(self.w.clone());
         let b = tape.constant(self.b.clone());
         let zw = tape.matmul(z, w);
@@ -97,7 +97,7 @@ impl Relay {
         let z = tape.constant(z_detached.clone());
         let zw = tape.matmul(z, w);
         let logits = tape.add_row_broadcast(zw, b);
-        let loss = tape.softmax_cross_entropy(logits, Rc::new(labels.to_vec()));
+        let loss = tape.softmax_cross_entropy(logits, Arc::new(labels.to_vec()));
         let value = tape.scalar(loss);
         let mut grads = tape.backward(loss);
         if let Some(g) = grads.take(w) {
@@ -131,7 +131,7 @@ mod tests {
         // Tape version with z constant should produce identical values.
         let mut tape = Tape::new();
         let zv = tape.constant(z.clone());
-        let g = relay.gradient_on_tape(&mut tape, zv, Rc::new(labels.clone()));
+        let g = relay.gradient_on_tape(&mut tape, zv, Arc::new(labels.clone()));
         let tape_val = tape.value(g);
         assert_eq!(analytic.shape(), tape_val.shape());
         for (a, b) in analytic.as_slice().iter().zip(tape_val.as_slice()) {
@@ -149,7 +149,7 @@ mod tests {
         let zv = tape.constant(z.clone());
         let zw = tape.matmul(zv, w);
         let logits = tape.add_row_broadcast(zw, b);
-        let loss = tape.softmax_cross_entropy(logits, Rc::new(labels.clone()));
+        let loss = tape.softmax_cross_entropy(logits, Arc::new(labels.clone()));
         let grads = tape.backward(loss);
         let stacked = relay.gradient(&z, &labels);
         let gw = grads.get(w).unwrap();

@@ -11,14 +11,23 @@
 //! `O(nnz(a) + nnz(ã) + forward pass)`.
 //!
 //! Results are exactly equal to the materialised path (verified by test).
+//!
+//! # Concurrency
+//!
+//! The server is `Sync`: the base graph is shared behind an [`Arc`] and the
+//! per-instance statistics sit behind a [`Mutex`], so [`serve_many`]
+//! (`InductiveServer::serve_many`) can fan independent batches across the
+//! `mcond-par` pool. Each request runs entirely on one worker — the nested
+//! kernels inside a request stay serial (the pool forbids nested
+//! parallelism), so per-batch results are identical to a sequential
+//! [`serve`](InductiveServer::serve) loop.
 
 use mcond_gnn::{GnnModel, GraphOps};
 use mcond_graph::{Graph, NodeBatch};
 use mcond_linalg::DMat;
 use mcond_obs::{Histogram, MetricsSnapshot};
 use mcond_sparse::Csr;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Per-instance serving statistics; kept on the server (not the global
@@ -35,11 +44,11 @@ struct ServeStats {
 /// A reusable inductive-inference endpoint over a fixed base graph
 /// (original `T` per Eq. 3, or synthetic `S` + mapping per Eq. 11).
 pub struct InductiveServer<'a> {
-    base_adj: Rc<Csr>,
+    base_adj: Arc<Csr>,
     base_features: &'a DMat,
     mapping: Option<&'a Csr>,
     model: &'a GnnModel,
-    stats: RefCell<ServeStats>,
+    stats: Mutex<ServeStats>,
 }
 
 impl<'a> InductiveServer<'a> {
@@ -47,11 +56,11 @@ impl<'a> InductiveServer<'a> {
     #[must_use]
     pub fn on_original(graph: &'a Graph, model: &'a GnnModel) -> Self {
         Self {
-            base_adj: Rc::new(graph.adj.clone()),
+            base_adj: Arc::new(graph.adj.clone()),
             base_features: &graph.features,
             mapping: None,
             model,
-            stats: RefCell::new(ServeStats::default()),
+            stats: Mutex::new(ServeStats::default()),
         }
     }
 
@@ -68,11 +77,11 @@ impl<'a> InductiveServer<'a> {
             "InductiveServer: mapping columns must index the synthetic nodes"
         );
         Self {
-            base_adj: Rc::new(graph.adj.clone()),
+            base_adj: Arc::new(graph.adj.clone()),
             base_features: &graph.features,
             mapping: Some(mapping),
             model,
-            stats: RefCell::new(ServeStats::default()),
+            stats: Mutex::new(ServeStats::default()),
         }
     }
 
@@ -98,7 +107,7 @@ impl<'a> InductiveServer<'a> {
                     self.base_adj.rows(),
                     "serve: batch indexes a different base graph"
                 );
-                Rc::new(batch.incremental.clone())
+                Arc::new(batch.incremental.clone())
             }
             Some(mapping) => {
                 assert_eq!(
@@ -106,10 +115,10 @@ impl<'a> InductiveServer<'a> {
                     mapping.rows(),
                     "serve: batch indexes a different original graph"
                 );
-                Rc::new(crate::inference::spmm_sparse(&batch.incremental, mapping))
+                Arc::new(crate::inference::spmm_sparse(&batch.incremental, mapping))
             }
         };
-        let inter = Rc::new(batch.interconnect.clone());
+        let inter = Arc::new(batch.interconnect.clone());
         let fanout = inc.nnz();
         let ops = GraphOps::extended(&self.base_adj, &inc, &inter);
         let x = self.base_features.vstack(&batch.features);
@@ -118,7 +127,7 @@ impl<'a> InductiveServer<'a> {
 
         let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         {
-            let mut stats = self.stats.borrow_mut();
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
             stats.requests += 1;
             #[allow(clippy::cast_precision_loss)]
             {
@@ -140,11 +149,42 @@ impl<'a> InductiveServer<'a> {
         out
     }
 
+    /// Logits for every batch, fanned across the `mcond-par` pool.
+    ///
+    /// One pool task per request: results and statistics are exactly what a
+    /// sequential [`serve`](InductiveServer::serve) loop would produce (only
+    /// the interleaving of histogram records differs, which no summary
+    /// statistic observes). Output order matches input order.
+    ///
+    /// # Panics
+    /// Panics when any batch indexes a different base graph, exactly as
+    /// [`serve`](InductiveServer::serve) would.
+    #[must_use]
+    pub fn serve_many(&self, batches: &[NodeBatch]) -> Vec<DMat> {
+        let _span = mcond_obs::span_with("serve_many", vec![("batches", batches.len().into())]);
+        let slots: Vec<Mutex<Option<DMat>>> =
+            batches.iter().map(|_| Mutex::new(None)).collect();
+        mcond_par::parallel_for_chunks(batches.len(), 1, |range| {
+            for i in range {
+                let out = self.serve(&batches[i]);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("serve_many: pool completed with an unfilled slot")
+            })
+            .collect()
+    }
+
     /// Freezes this server's request statistics (latency, attachment
     /// fanout `‖aM̂‖₀`, batch sizes) into a snapshot for reports.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let stats = self.stats.borrow();
+        let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
         MetricsSnapshot {
             counters: vec![("serve.requests".to_owned(), stats.requests)],
             gauges: Vec::new(),
@@ -254,6 +294,44 @@ mod tests {
                 assert!(approx_eq(*a, *b, 1e-4), "{}: {a} vs {b}", kind.name());
             }
         }
+    }
+
+    /// Concurrent fan-out must be invisible in the results: per-batch
+    /// logits bitwise-match a sequential serve loop, and the request
+    /// counter reflects every batch exactly once.
+    #[test]
+    fn serve_many_matches_sequential_serve_loop() {
+        let (data, condensed, model) = setup();
+        let batches = data.test_batches(30, true);
+        assert!(batches.len() > 1, "need several batches to exercise fan-out");
+
+        let sequential = InductiveServer::on_synthetic(
+            &condensed.synthetic,
+            &condensed.mapping,
+            &model,
+        );
+        let expected: Vec<DMat> =
+            batches.iter().map(|b| sequential.serve(b)).collect();
+
+        let concurrent = InductiveServer::on_synthetic(
+            &condensed.synthetic,
+            &condensed.mapping,
+            &model,
+        );
+        let got = mcond_par::with_thread_limit(4, || concurrent.serve_many(&batches));
+
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(g.as_slice(), e.as_slice(), "batch {i} drifted");
+        }
+
+        let seq_snap = sequential.metrics_snapshot();
+        let par_snap = concurrent.metrics_snapshot();
+        assert_eq!(seq_snap.counters, par_snap.counters);
+        assert_eq!(
+            par_snap.counters,
+            vec![("serve.requests".to_owned(), batches.len() as u64)]
+        );
     }
 
     #[test]

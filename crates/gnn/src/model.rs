@@ -4,7 +4,7 @@ use crate::propagator::Propagator;
 use mcond_autodiff::{Tape, Var};
 use mcond_linalg::{DMat, MatRng};
 use mcond_sparse::{row_normalize_dense, sym_normalize, Csr};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Architecture selector (paper §IV-A and Table IV).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,7 +60,7 @@ impl GraphOps {
     /// Builds both operators from a raw adjacency (materialised form).
     #[must_use]
     pub fn from_adj(adj: &Csr) -> Self {
-        let sym = Rc::new(sym_normalize(adj));
+        let sym = Arc::new(sym_normalize(adj));
         // Row normalisation on sparse: scale each row by 1/degree.
         let degrees = adj.row_weighted_degrees();
         let dense_free = {
@@ -75,7 +75,7 @@ impl GraphOps {
             coo.to_csr()
         };
         let _ = row_normalize_dense; // dense variant lives in mcond-sparse for adjacency blocks
-        Self { sym: Propagator::Matrix(sym), mean: Propagator::Matrix(Rc::new(dense_free)) }
+        Self { sym: Propagator::Matrix(sym), mean: Propagator::Matrix(Arc::new(dense_free)) }
     }
 
     /// Builds both operators for the extended graph `[[base, incᵀ], [inc,
@@ -83,10 +83,10 @@ impl GraphOps {
     /// then costs O(nnz(inc) + nnz(inter) + n) instead of copying the base
     /// graph (see `mcond-core`'s `InductiveServer`).
     #[must_use]
-    pub fn extended(base: &Rc<Csr>, inc: &Rc<Csr>, inter: &Rc<Csr>) -> Self {
+    pub fn extended(base: &Arc<Csr>, inc: &Arc<Csr>, inter: &Arc<Csr>) -> Self {
         Self {
-            sym: Propagator::extended_sym(Rc::clone(base), Rc::clone(inc), Rc::clone(inter)),
-            mean: Propagator::extended_mean(Rc::clone(base), Rc::clone(inc), Rc::clone(inter)),
+            sym: Propagator::extended_sym(Arc::clone(base), Arc::clone(inc), Arc::clone(inter)),
+            mean: Propagator::extended_mean(Arc::clone(base), Arc::clone(inc), Arc::clone(inter)),
         }
     }
 }
@@ -293,7 +293,7 @@ impl GnnModel {
 mod tests {
     use super::*;
     use mcond_sparse::Coo;
-    use std::rc::Rc as StdRc;
+    use std::sync::Arc as StdArc;
 
     fn ring(n: usize) -> Csr {
         let mut coo = Coo::new(n, n);
@@ -348,7 +348,7 @@ mod tests {
             let s: f32 = mean.row_vals(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-5);
         }
-        let _ = StdRc::strong_count(&mean);
+        let _ = StdArc::strong_count(&mean);
     }
 
     #[test]

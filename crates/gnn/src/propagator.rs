@@ -16,14 +16,14 @@
 
 use mcond_linalg::DMat;
 use mcond_sparse::Csr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The lazy extension payload: base graph + incremental blocks +
 /// precomputed normalisation vectors.
 pub struct Extension {
-    base: Rc<Csr>,
-    inc: Rc<Csr>,
-    inter: Rc<Csr>,
+    base: Arc<Csr>,
+    inc: Arc<Csr>,
+    inter: Arc<Csr>,
     /// Per-node scale applied before and after the raw product for the
     /// symmetric kernel (`1/sqrt(d̃)`), or the reciprocal degree applied
     /// after for the mean kernel. Length `base.rows() + inc.rows()`.
@@ -56,7 +56,7 @@ impl Extension {
 /// A multiply-only view of a (normalised) adjacency.
 pub enum Propagator {
     /// Materialised sparse matrix.
-    Matrix(Rc<Csr>),
+    Matrix(Arc<Csr>),
     /// Lazily extended block operator (symmetric kernel:
     /// `D̃^{-1/2} Ã_ext D̃^{-1/2}`; mean kernel: `D^{-1} A_ext`).
     Extended(Box<Extension>),
@@ -102,9 +102,9 @@ impl Propagator {
     /// (training always runs on a fixed graph; the lazy form is an
     /// inference-serving optimisation).
     #[must_use]
-    pub fn csr(&self) -> Rc<Csr> {
+    pub fn csr(&self) -> Arc<Csr> {
         match self {
-            Propagator::Matrix(m) => Rc::clone(m),
+            Propagator::Matrix(m) => Arc::clone(m),
             Propagator::Extended(_) => panic!(
                 "Propagator::csr: extended operators cannot be recorded on a tape; \
                  materialise the extended graph for training"
@@ -119,7 +119,7 @@ impl Propagator {
     /// # Panics
     /// Panics on inconsistent block shapes.
     #[must_use]
-    pub fn extended_sym(base: Rc<Csr>, inc: Rc<Csr>, inter: Rc<Csr>) -> Self {
+    pub fn extended_sym(base: Arc<Csr>, inc: Arc<Csr>, inter: Arc<Csr>) -> Self {
         let (n_base, n_new) = check_blocks(&base, &inc, &inter);
         // Degrees of Ã_ext (self-loop included).
         let mut deg = vec![1.0f32; n_base + n_new];
@@ -144,7 +144,7 @@ impl Propagator {
     /// # Panics
     /// Panics on inconsistent block shapes.
     #[must_use]
-    pub fn extended_mean(base: Rc<Csr>, inc: Rc<Csr>, inter: Rc<Csr>) -> Self {
+    pub fn extended_mean(base: Arc<Csr>, inc: Arc<Csr>, inter: Arc<Csr>) -> Self {
         let (n_base, n_new) = check_blocks(&base, &inc, &inter);
         let mut deg = vec![0.0f32; n_base + n_new];
         for (i, _, v) in base.iter() {
@@ -179,7 +179,7 @@ mod tests {
 
     /// base: ring of 4; two new nodes, node 0' -> base 1 (w 2.0),
     /// node 1' -> base 3 (w 1.0); new nodes connected to each other.
-    fn blocks() -> (Rc<Csr>, Rc<Csr>, Rc<Csr>) {
+    fn blocks() -> (Arc<Csr>, Arc<Csr>, Arc<Csr>) {
         let mut base = Coo::new(4, 4);
         for i in 0..4 {
             base.push_sym(i, (i + 1) % 4, 1.0);
@@ -189,7 +189,7 @@ mod tests {
         inc.push(1, 3, 1.0);
         let mut inter = Coo::new(2, 2);
         inter.push_sym(0, 1, 1.0);
-        (Rc::new(base.to_csr()), Rc::new(inc.to_csr()), Rc::new(inter.to_csr()))
+        (Arc::new(base.to_csr()), Arc::new(inc.to_csr()), Arc::new(inter.to_csr()))
     }
 
     fn materialised(base: &Csr, inc: &Csr, inter: &Csr) -> Csr {
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn extended_sym_matches_materialised_normalisation() {
         let (base, inc, inter) = blocks();
-        let lazy = Propagator::extended_sym(Rc::clone(&base), Rc::clone(&inc), Rc::clone(&inter));
+        let lazy = Propagator::extended_sym(Arc::clone(&base), Arc::clone(&inc), Arc::clone(&inter));
         let dense = sym_normalize(&materialised(&base, &inc, &inter));
         let x = MatRng::seed_from(1).normal(6, 3, 0.0, 1.0);
         let a = lazy.spmm(&x);
@@ -213,7 +213,7 @@ mod tests {
     fn extended_mean_matches_materialised_normalisation() {
         let (base, inc, inter) = blocks();
         let lazy =
-            Propagator::extended_mean(Rc::clone(&base), Rc::clone(&inc), Rc::clone(&inter));
+            Propagator::extended_mean(Arc::clone(&base), Arc::clone(&inc), Arc::clone(&inter));
         let dense_raw = materialised(&base, &inc, &inter).to_dense();
         let dense = row_normalize_dense(&dense_raw);
         let x = MatRng::seed_from(2).normal(6, 3, 0.0, 1.0);
@@ -227,9 +227,9 @@ mod tests {
     #[test]
     fn empty_extension_reduces_to_base_kernel() {
         let (base, _, _) = blocks();
-        let inc = Rc::new(Csr::empty(0, 4));
-        let inter = Rc::new(Csr::empty(0, 0));
-        let lazy = Propagator::extended_sym(Rc::clone(&base), inc, inter);
+        let inc = Arc::new(Csr::empty(0, 4));
+        let inter = Arc::new(Csr::empty(0, 0));
+        let lazy = Propagator::extended_sym(Arc::clone(&base), inc, inter);
         let direct = sym_normalize(&base);
         let x = MatRng::seed_from(3).normal(4, 2, 0.0, 1.0);
         let a = lazy.spmm(&x);
@@ -242,12 +242,12 @@ mod tests {
     #[test]
     fn matrix_variant_delegates() {
         let (base, _, _) = blocks();
-        let norm = Rc::new(sym_normalize(&base));
-        let p = Propagator::Matrix(Rc::clone(&norm));
+        let norm = Arc::new(sym_normalize(&base));
+        let p = Propagator::Matrix(Arc::clone(&norm));
         let x = MatRng::seed_from(4).normal(4, 2, 0.0, 1.0);
         assert_eq!(p.spmm(&x), norm.spmm(&x));
         assert_eq!(p.rows(), 4);
-        assert!(Rc::ptr_eq(&p.csr(), &norm));
+        assert!(Arc::ptr_eq(&p.csr(), &norm));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::{accuracy, GnnModel, GraphOps};
 use mcond_autodiff::{Adam, Tape};
 use mcond_linalg::DMat;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Training hyper-parameters.
 #[derive(Clone, Debug)]
@@ -64,7 +64,7 @@ pub fn train(
             ("has_val", val.is_some().into()),
         ],
     );
-    let labels_rc = Rc::new(labels.to_vec());
+    let labels_rc = Arc::new(labels.to_vec());
     let mut opts: Vec<Adam> = model
         .params()
         .iter()
@@ -83,7 +83,7 @@ pub fn train(
         let ps = model.tape_params(&mut tape);
         let x = tape.constant(features.clone());
         let logits = model.forward(&mut tape, &ps, ops, x);
-        let loss = tape.softmax_cross_entropy(logits, Rc::clone(&labels_rc));
+        let loss = tape.softmax_cross_entropy(logits, Arc::clone(&labels_rc));
         losses.push(tape.scalar(loss));
         let mut grads = tape.backward(loss);
         for ((param, var), opt) in model.params_mut().iter_mut().zip(&ps).zip(&mut opts) {

@@ -5,8 +5,17 @@
 //! auto-vectorises). Transpose flavours avoid materialising transposes in
 //! the hot training loops: `a.matmul_tn(b)` computes `Aᵀ·B` and
 //! `a.matmul_nt(b)` computes `A·Bᵀ` directly from row-major storage.
+//!
+//! # Parallel execution
+//!
+//! Every kernel row-partitions its **output** across the `mcond-par` pool
+//! when the FLOP count clears [`PAR_MIN_FLOPS`]: each task owns a disjoint
+//! `&mut` stripe of the result and accumulates every output element in the
+//! same order as the serial path, so results are bit-for-bit identical for
+//! any `MCOND_THREADS` value (verified by the determinism tests below).
 
 use crate::DMat;
+use std::ops::Range;
 
 /// Reports `2·m·k·n` multiply-add FLOPs to the `linalg.matmul.flops`
 /// counter (one relaxed atomic load when observability is off).
@@ -16,8 +25,66 @@ fn count_flops(m: usize, k: usize, n: usize) {
 
 /// Cache block edge. 64 rows/cols of f32 keeps three blocks comfortably in
 /// L1/L2 on commodity CPUs; measured best among {32, 64, 128} in the
-/// workspace's `matmul` Criterion bench.
+/// workspace's in-repo `microbench` kernels bench (`benches/kernels.rs`).
 const BLOCK: usize = 64;
+
+/// Minimum `2·m·k·n` FLOPs before a product is worth fanning out to the
+/// pool — below this, pool dispatch overhead rivals the kernel itself.
+/// A 64³ GEMM (≈0.5 MFLOP) sits right at the threshold.
+const PAR_MIN_FLOPS: usize = 1 << 19;
+
+/// `self · other` restricted to output rows `rows`, writing into the
+/// caller-provided stripe `c` (`rows.len() * n` values). Accumulation per
+/// output element runs over `p` ascending regardless of the stripe, which
+/// is what makes the parallel split bitwise-deterministic.
+fn matmul_rows(a: &[f32], b: &[f32], c: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
+    for kk in (0..k).step_by(BLOCK) {
+        let k_hi = (kk + BLOCK).min(k);
+        for (ii, i) in rows.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[ii * n..(ii + 1) * n];
+            for p in kk..k_hi {
+                let av = a_row[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `selfᵀ · other` restricted to output rows `rows` (columns of `self`),
+/// writing into the stripe `c`. Streams over rows of A and B exactly like
+/// the serial kernel; per output element the `p` accumulation order is
+/// unchanged.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    // C[i][j] = sum_p A[p][i] * B[p][j]: stream over rows of A and B.
+    for p in 0..k {
+        let a_row = &a[p * m + rows.start..p * m + rows.end];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (ii, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[ii * n..(ii + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
 
 impl DMat {
     /// `self · other`.
@@ -40,23 +107,12 @@ impl DMat {
         let mut out = DMat::zeros(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
-        let c = out.as_mut_slice();
-        for kk in (0..k).step_by(BLOCK) {
-            let k_hi = (kk + BLOCK).min(k);
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for p in kk..k_hi {
-                    let av = a_row[p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += av * bv;
-                    }
-                }
-            }
+        if 2 * m * k * n >= PAR_MIN_FLOPS {
+            mcond_par::parallel_row_chunks(out.as_mut_slice(), n.max(1), 1, |rows, chunk| {
+                matmul_rows(a, b, chunk, rows, k, n);
+            });
+        } else {
+            matmul_rows(a, b, out.as_mut_slice(), 0..m, k, n);
         }
         out
     }
@@ -79,20 +135,12 @@ impl DMat {
         let mut out = DMat::zeros(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
-        let c = out.as_mut_slice();
-        // C[i][j] = sum_p A[p][i] * B[p][j]: stream over rows of A and B.
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
-            }
+        if 2 * m * k * n >= PAR_MIN_FLOPS {
+            mcond_par::parallel_row_chunks(out.as_mut_slice(), n.max(1), 1, |rows, chunk| {
+                matmul_tn_rows(a, b, chunk, rows, k, m, n);
+            });
+        } else {
+            matmul_tn_rows(a, b, out.as_mut_slice(), 0..m, k, m, n);
         }
         out
     }
@@ -107,23 +155,34 @@ impl DMat {
             self.cols(),
             other.cols(),
             "matmul_nt: A·Bᵀ needs equal column counts ({} vs {})",
-            self.cols(),
-            other.cols()
+            self.rows(),
+            other.rows()
         );
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
         count_flops(m, k, n);
         let mut out = DMat::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, out_v) in out_row.iter_mut().enumerate() {
-                let b_row = &other.as_slice()[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
+        let a = self.as_slice();
+        let b = other.as_slice();
+        // Every output element is an independent dot product, so any row
+        // partition is trivially deterministic.
+        let nt_rows = |rows: Range<usize>, chunk: &mut [f32]| {
+            for (ii, i) in rows.enumerate() {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut chunk[ii * n..(ii + 1) * n];
+                for (j, out_v) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (av, bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *out_v = acc;
                 }
-                *out_v = acc;
             }
+        };
+        if 2 * m * k * n >= PAR_MIN_FLOPS {
+            mcond_par::parallel_row_chunks(out.as_mut_slice(), n.max(1), 1, nt_rows);
+        } else {
+            nt_rows(0..m, out.as_mut_slice());
         }
         out
     }
@@ -135,10 +194,20 @@ impl DMat {
     #[must_use]
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols(), "matvec: dimension mismatch");
-        count_flops(self.rows(), self.cols(), 1);
-        (0..self.rows())
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        let (m, k) = (self.rows(), self.cols());
+        count_flops(m, k, 1);
+        let mut out = vec![0.0f32; m];
+        let dot_rows = |rows: Range<usize>, chunk: &mut [f32]| {
+            for (ii, i) in rows.enumerate() {
+                chunk[ii] = self.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+            }
+        };
+        if 2 * m * k >= PAR_MIN_FLOPS {
+            mcond_par::parallel_row_chunks(&mut out, 1, 64, dot_rows);
+        } else {
+            dot_rows(0..m, &mut out);
+        }
+        out
     }
 }
 
@@ -206,5 +275,31 @@ mod tests {
     #[should_panic(expected = "matmul")]
     fn dimension_mismatch_panics() {
         let _ = DMat::zeros(2, 3).matmul(&DMat::zeros(2, 3));
+    }
+
+    /// The determinism contract: for sizes well above [`PAR_MIN_FLOPS`],
+    /// forced-serial and 4-way-parallel runs must agree **bitwise** for
+    /// every kernel flavour — row-partitioned outputs never change the
+    /// per-element accumulation order.
+    #[test]
+    fn parallel_kernels_are_bitwise_deterministic() {
+        let mut rng = MatRng::seed_from(42);
+        // 97·131·77 ≈ 2·10⁶ FLOPs, odd shapes to exercise ragged chunks.
+        let a = rng.uniform(97, 131, -1.0, 1.0);
+        let b = rng.uniform(131, 77, -1.0, 1.0);
+        let at = rng.uniform(131, 97, -1.0, 1.0);
+        let bt = rng.uniform(97, 131, -1.0, 1.0);
+        let v: Vec<f32> = (0..131).map(|i| (i as f32).sin()).collect();
+
+        let serial = mcond_par::with_thread_limit(1, || {
+            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt), a.matvec(&v))
+        });
+        let parallel = mcond_par::with_thread_limit(4, || {
+            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt), a.matvec(&v))
+        });
+        assert_eq!(serial.0.as_slice(), parallel.0.as_slice(), "matmul drifted");
+        assert_eq!(serial.1.as_slice(), parallel.1.as_slice(), "matmul_tn drifted");
+        assert_eq!(serial.2.as_slice(), parallel.2.as_slice(), "matmul_nt drifted");
+        assert_eq!(serial.3, parallel.3, "matvec drifted");
     }
 }

@@ -1,7 +1,24 @@
 //! Compressed-sparse-row matrices and the SpMM kernel.
+//!
+//! # Parallel execution
+//!
+//! Both SpMM flavours row-partition their **output** across the
+//! `mcond-par` pool once the touched work (`nnz · d`) is large enough:
+//!
+//! * [`Csr::spmm`] splits its output rows into **nnz-balanced** ranges
+//!   (row-count-balanced chunks would starve workers on power-law degree
+//!   distributions), each task owning a disjoint `&mut` stripe;
+//! * [`Csr::spmm_t`] partitions by output row too — i.e. by *column* of
+//!   `self` — and each task binary-searches every CSR row for the column
+//!   window it owns, turning the serial scatter into a race-free gather.
+//!
+//! Per output element the floating-point accumulation order is identical
+//! to the serial kernels (ascending source position), so results are
+//! bit-for-bit independent of `MCOND_THREADS`.
 
 use crate::Coo;
 use mcond_linalg::DMat;
+use std::ops::Range;
 
 /// An immutable CSR sparse matrix with `f32` values.
 ///
@@ -26,6 +43,10 @@ fn count_spmm(nnz: usize, d: usize) {
     mcond_obs::counter_add("sparse.spmm.bytes", (nnz * (8 + 8 * d)) as u64);
 }
 
+/// Minimum `nnz · d` work before an SpMM fans out to the pool; small
+/// products stay on the serial path where dispatch overhead would dominate.
+const PAR_MIN_WORK: usize = 1 << 16;
+
 impl Csr {
     /// Builds from raw CSR arrays. Callers must uphold the sortedness and
     /// uniqueness invariants; prefer [`Coo::to_csr`].
@@ -43,7 +64,10 @@ impl Csr {
         assert_eq!(indptr.len(), rows + 1, "Csr: indptr length");
         assert_eq!(cols.len(), vals.len(), "Csr: cols/vals length mismatch");
         assert_eq!(*indptr.last().unwrap_or(&0) as usize, cols.len(), "Csr: indptr tail");
-        debug_assert!(cols.iter().all(|&c| (c as usize) < cols_n), "Csr: column out of range");
+        // A real assert, not a debug_assert: every SpMM read indexes the
+        // dense operand by these columns, so an out-of-range entry would
+        // panic (or worse, silently read a wrong row) deep inside a kernel.
+        assert!(cols.iter().all(|&c| (c as usize) < cols_n), "Csr: column out of range");
         Self { rows, cols_n, indptr, cols, vals }
     }
 
@@ -131,7 +155,50 @@ impl Csr {
         (0..self.rows).map(|i| self.row_vals(i).iter().sum()).collect()
     }
 
+    /// Splits `0..rows` into up to `target_chunks` ranges of roughly equal
+    /// stored-entry count — the load-balanced partition the parallel SpMM
+    /// uses (row-count chunks would be skewed by hub nodes).
+    ///
+    /// The ranges tile `0..rows` in ascending order; empty trailing rows
+    /// fold into the last range.
+    #[must_use]
+    pub fn nnz_balanced_row_ranges(&self, target_chunks: usize) -> Vec<Range<usize>> {
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        let per_chunk = (self.nnz() / target_chunks.max(1)).max(1) as u64;
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        while start < self.rows {
+            let goal = self.indptr[start] + per_chunk;
+            // First row boundary whose cumulative nnz reaches the goal.
+            let rel = self.indptr[start + 1..=self.rows].partition_point(|&x| x < goal);
+            let end = (start + 1 + rel).min(self.rows);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// [`Csr::spmm`] restricted to output rows `rows`, writing into the
+    /// caller-provided stripe `out` (`rows.len() * d` values).
+    fn spmm_rows(&self, rhs: &DMat, rows: Range<usize>, out: &mut [f32]) {
+        let d = rhs.cols();
+        for (ii, i) in rows.enumerate() {
+            let out_row = &mut out[ii * d..(ii + 1) * d];
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                let src = rhs.row(c as usize);
+                for (o, s) in out_row.iter_mut().zip(src) {
+                    *o += v * *s;
+                }
+            }
+        }
+    }
+
     /// Sparse × dense product `self · rhs` — the message-passing kernel.
+    ///
+    /// Fans out across nnz-balanced output-row ranges when the work is
+    /// large enough; results are bitwise identical to the serial path.
     ///
     /// # Panics
     /// Panics when `rhs.rows() != self.cols()`.
@@ -149,20 +216,50 @@ impl Csr {
         let d = rhs.cols();
         count_spmm(self.nnz(), d);
         let mut out = DMat::zeros(self.rows, d);
-        for i in 0..self.rows {
-            let out_row = out.row_mut(i);
-            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
-                let src = rhs.row(c as usize);
-                for (o, s) in out_row.iter_mut().zip(src) {
-                    *o += v * *s;
-                }
-            }
+        let threads = mcond_par::max_threads();
+        if threads > 1 && self.nnz() * d >= PAR_MIN_WORK && d > 0 {
+            let ranges = self.nnz_balanced_row_ranges(threads * 4);
+            mcond_par::parallel_row_ranges(out.as_mut_slice(), d, &ranges, |rows, chunk| {
+                self.spmm_rows(rhs, rows, chunk);
+            });
+        } else {
+            self.spmm_rows(rhs, 0..self.rows, out.as_mut_slice());
         }
         out
     }
 
+    /// [`Csr::spmm_t`] restricted to output rows (= columns of `self`)
+    /// `cols_range`, writing into the stripe `out`. Gathers instead of
+    /// scattering: for each CSR row, binary-search the slice of entries
+    /// whose column falls in the owned window. For a fixed output row the
+    /// contributions still arrive in ascending source-row order — the same
+    /// additions, in the same order, as the serial scatter.
+    fn spmm_t_cols(&self, rhs: &DMat, cols_range: Range<usize>, out: &mut [f32]) {
+        let d = rhs.cols();
+        let (clo, chi) = (cols_range.start as u32, cols_range.end as u32);
+        for i in 0..self.rows {
+            let cols = self.row_cols(i);
+            let lo = cols.partition_point(|&c| c < clo);
+            let hi = lo + cols[lo..].partition_point(|&c| c < chi);
+            if lo == hi {
+                continue;
+            }
+            let src = rhs.row(i);
+            for (&c, &v) in cols[lo..hi].iter().zip(&self.row_vals(i)[lo..hi]) {
+                let dst = &mut out[(c as usize - cols_range.start) * d..][..d];
+                for (o, s) in dst.iter_mut().zip(src) {
+                    *o += v * *s;
+                }
+            }
+        }
+    }
+
     /// `selfᵀ · rhs` without materialising the transpose (scatter variant of
     /// [`Csr::spmm`]); used by autodiff backward passes.
+    ///
+    /// The parallel path partitions by output row (= column of `self`) and
+    /// gathers, so it needs no atomics and stays bitwise identical to the
+    /// serial scatter.
     ///
     /// # Panics
     /// Panics when `rhs.rows() != self.rows()`.
@@ -172,12 +269,21 @@ impl Csr {
         let d = rhs.cols();
         count_spmm(self.nnz(), d);
         let mut out = DMat::zeros(self.cols_n, d);
-        for i in 0..self.rows {
-            let src = rhs.row(i);
-            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
-                let dst = out.row_mut(c as usize);
-                for (o, s) in dst.iter_mut().zip(src) {
-                    *o += v * *s;
+        let threads = mcond_par::max_threads();
+        // The gather re-scans row *indices* once per task, so demand a bit
+        // more work than plain spmm before going parallel.
+        if threads > 1 && self.nnz() * d >= 2 * PAR_MIN_WORK && d > 0 && self.cols_n > 1 {
+            mcond_par::parallel_row_chunks(out.as_mut_slice(), d, 16, |cols_range, chunk| {
+                self.spmm_t_cols(rhs, cols_range, chunk);
+            });
+        } else {
+            for i in 0..self.rows {
+                let src = rhs.row(i);
+                for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                    let dst = out.row_mut(c as usize);
+                    for (o, s) in dst.iter_mut().zip(src) {
+                        *o += v * *s;
+                    }
                 }
             }
         }
@@ -403,5 +509,79 @@ mod tests {
     fn eye_is_identity_under_spmm() {
         let x = DMat::from_rows(&[&[1., 2.], &[3., 4.]]);
         assert_eq!(Csr::eye(2).spmm(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn from_raw_rejects_out_of_range_column() {
+        let _ = Csr::from_raw(1, 2, vec![0, 1], vec![2], vec![1.0]);
+    }
+
+    /// Deterministic pseudo-random graph big enough to clear the parallel
+    /// thresholds, with skewed row lengths so the nnz-balanced partition
+    /// and the spmm_t column windows both get exercised on ragged input.
+    fn random_csr(rows: usize, cols: usize, seed: u64) -> Csr {
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64* — plenty for test data.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut coo = Coo::new(rows, cols);
+        for i in 0..rows {
+            let deg = 1 + (next() as usize % 16) + if i % 37 == 0 { 64 } else { 0 };
+            for _ in 0..deg {
+                let c = (next() as usize) % cols;
+                let v = ((next() % 2000) as f32 - 1000.0) / 500.0;
+                coo.push(i, c, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn nnz_balanced_ranges_tile_all_rows() {
+        let m = random_csr(300, 200, 9);
+        let ranges = m.nnz_balanced_row_ranges(8);
+        let mut cursor = 0;
+        for r in &ranges {
+            assert_eq!(r.start, cursor);
+            assert!(r.end > r.start);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, m.rows());
+        // Balance: no chunk should hold more than ~3x its fair nnz share.
+        let fair = m.nnz() / 8;
+        for r in &ranges {
+            let chunk_nnz = (m.indptr[r.end] - m.indptr[r.start]) as usize;
+            assert!(chunk_nnz <= 3 * fair.max(1), "chunk {r:?} holds {chunk_nnz} nnz");
+        }
+    }
+
+    /// The determinism contract: spmm and spmm_t outputs are bitwise
+    /// identical whether the pool runs 1 thread or 4 — the parallel paths
+    /// never reorder any per-element accumulation.
+    #[test]
+    fn parallel_spmm_is_bitwise_deterministic() {
+        let m = random_csr(500, 300, 17);
+        let mut x = DMat::zeros(300, 64);
+        for i in 0..300 {
+            for j in 0..64 {
+                x.set(i, j, ((i * 64 + j) as f32).sin());
+            }
+        }
+        let mut y = DMat::zeros(500, 64);
+        for i in 0..500 {
+            for j in 0..64 {
+                y.set(i, j, ((i * 64 + j) as f32).cos());
+            }
+        }
+        assert!(m.nnz() * 64 >= 2 * PAR_MIN_WORK, "test graph too small to fan out");
+        let serial = mcond_par::with_thread_limit(1, || (m.spmm(&x), m.spmm_t(&y)));
+        let parallel = mcond_par::with_thread_limit(4, || (m.spmm(&x), m.spmm_t(&y)));
+        assert_eq!(serial.0.as_slice(), parallel.0.as_slice(), "spmm drifted");
+        assert_eq!(serial.1.as_slice(), parallel.1.as_slice(), "spmm_t drifted");
     }
 }

@@ -18,7 +18,9 @@
 //! * [`graph`] — datasets, inductive splits, generators,
 //! * [`gnn`] — SGC/GCN/GraphSAGE/APPNP/Cheby models and training,
 //! * [`core`] — MCond itself plus GCond/coreset/VNG baselines,
-//! * [`propagate`] — label & error propagation calibration.
+//! * [`propagate`] — label & error propagation calibration,
+//! * [`par`] — the deterministic worker pool behind the kernels
+//!   (`MCOND_THREADS`; results are bitwise identical at any thread count).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use mcond_gnn as gnn;
 pub use mcond_graph as graph;
 pub use mcond_linalg as linalg;
 pub use mcond_propagate as propagate;
+pub use mcond_par as par;
 pub use mcond_sparse as sparse;
 
 /// The most common imports in one place.
