@@ -9,7 +9,8 @@ WORKFLOW="$(dirname "$0")/.github/workflows/ci.yml"
 for cmd in \
     "cargo clippy --workspace --all-targets -- -D warnings" \
     "cargo test --workspace" \
-    "cargo bench --workspace --no-run"
+    "cargo bench --workspace --no-run" \
+    "cargo run --release --example checkpointing"
 do
     if ! grep -q "run: $cmd\$" "$WORKFLOW"; then
         echo "DRIFT: $WORKFLOW is missing the tier-1 step: $cmd" >&2
@@ -30,4 +31,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
 MCOND_THREADS=4 cargo test --workspace
 cargo bench --workspace --no-run
+# Checkpoint round-trip smoke: condense → save → restore → serve, bitwise
+# verified inside the example (also exercises a corrupted-file rejection).
+cargo run --release --example checkpointing
 echo "all checks passed"

@@ -1,0 +1,224 @@
+//! The serve-ready artifact bundle: condensed graph + mapping + weights.
+//!
+//! A [`Checkpoint`] is everything [`InductiveServer`](crate::InductiveServer)
+//! needs to answer inductive queries — the synthetic triple `S = {A', X',
+//! Y'}`, the sparsified mapping `M`, and the trained GNN — persisted as one
+//! `MCST` container (see `mcond-store`). [`Checkpoint::load`] re-validates
+//! the cross-section invariants (`M` columns index the synthetic nodes, the
+//! model's input/output widths match `X'`/`Y'`), so a restored bundle is
+//! exactly as safe to serve from as a freshly condensed one, and a server
+//! booted from it never touches the original graph.
+
+use crate::condense::Condensed;
+use crate::server::InductiveServer;
+use mcond_gnn::GnnModel;
+use mcond_graph::Graph;
+use mcond_sparse::Csr;
+use mcond_store::codec::{self, ByteReader, ByteWriter};
+use mcond_store::{CheckpointReader, CheckpointWriter, StoreError};
+use std::path::Path;
+use std::time::Instant;
+
+/// Section names inside the container.
+const SEC_SYNTHETIC: &str = "synthetic";
+const SEC_MAPPING: &str = "mapping";
+const SEC_MODEL: &str = "model";
+
+/// A complete, serve-ready condensed artifact.
+#[derive(Clone)]
+pub struct Checkpoint {
+    /// The condensed graph `S = {A', X', Y'}`.
+    pub synthetic: Graph,
+    /// Sparsified mapping `M : N x N'` from original to synthetic nodes.
+    pub mapping: Csr,
+    /// Trained GNN weights.
+    pub model: GnnModel,
+}
+
+impl Checkpoint {
+    /// Bundles the three artifacts, validating that they agree with each
+    /// other (the same checks [`Checkpoint::load`] applies to untrusted
+    /// bytes, so an in-memory bundle can never save an unserveable file).
+    ///
+    /// # Errors
+    /// [`StoreError::ShapeMismatch`] when the mapping or model does not fit
+    /// the synthetic graph.
+    pub fn new(synthetic: Graph, mapping: Csr, model: GnnModel) -> Result<Self, StoreError> {
+        if mapping.cols() != synthetic.num_nodes() {
+            return Err(StoreError::ShapeMismatch {
+                reason: format!(
+                    "mapping has {} columns but the synthetic graph has {} nodes",
+                    mapping.cols(),
+                    synthetic.num_nodes()
+                ),
+            });
+        }
+        let in_dim = model.params()[0].rows();
+        if in_dim != synthetic.feature_dim() {
+            return Err(StoreError::ShapeMismatch {
+                reason: format!(
+                    "model expects {in_dim}-dim inputs but X' has {} features",
+                    synthetic.feature_dim()
+                ),
+            });
+        }
+        let out_dim = model.params().last().map_or(0, mcond_linalg::DMat::cols);
+        if out_dim != synthetic.num_classes {
+            return Err(StoreError::ShapeMismatch {
+                reason: format!(
+                    "model emits {out_dim} logits but the graph has {} classes",
+                    synthetic.num_classes
+                ),
+            });
+        }
+        Ok(Self { synthetic, mapping, model })
+    }
+
+    /// Serialises the bundle into an `MCST` image.
+    #[must_use]
+    pub fn to_writer(&self) -> CheckpointWriter {
+        let mut graph_w = ByteWriter::new();
+        codec::encode_graph(&mut graph_w, &self.synthetic);
+        let mut map_w = ByteWriter::new();
+        codec::encode_csr(&mut map_w, &self.mapping);
+        let mut model_w = ByteWriter::new();
+        codec::encode_model(&mut model_w, &self.model);
+        let mut w = CheckpointWriter::new();
+        w.add_section(SEC_SYNTHETIC, graph_w.into_bytes());
+        w.add_section(SEC_MAPPING, map_w.into_bytes());
+        w.add_section(SEC_MODEL, model_w.into_bytes());
+        w
+    }
+
+    /// Writes the bundle to `path` atomically; returns the bytes written.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
+        self.to_writer().write_atomic(path.as_ref())
+    }
+
+    /// Reads and validates a bundle from `path`.
+    ///
+    /// # Errors
+    /// Any [`StoreError`]: corrupt bytes surface as the typed error naming
+    /// the damaged section (a corrupted `mapping` section yields
+    /// `ChecksumMismatch { section: "mapping" }`, never a panic), and
+    /// structurally valid but mutually inconsistent sections surface as
+    /// [`StoreError::ShapeMismatch`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let start = Instant::now();
+        let reader = CheckpointReader::open(path.as_ref())?;
+        let ckpt = Self::from_reader(&reader)?;
+        mcond_obs::histogram_record("store.load.ms", start.elapsed().as_secs_f64() * 1e3);
+        mcond_obs::emit_snapshot("store.load");
+        Ok(ckpt)
+    }
+
+    /// Decodes a bundle from an in-memory image (the fault-injection sweep
+    /// uses this to probe thousands of corrupted variants without touching
+    /// the filesystem).
+    ///
+    /// # Errors
+    /// Same contract as [`Checkpoint::load`].
+    pub fn from_bytes(image: Vec<u8>) -> Result<Self, StoreError> {
+        Self::from_reader(&CheckpointReader::from_bytes(image)?)
+    }
+
+    fn from_reader(reader: &CheckpointReader) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(reader.section(SEC_SYNTHETIC)?, SEC_SYNTHETIC);
+        let synthetic = codec::decode_graph(&mut r)?;
+        r.finish()?;
+        let mut r = ByteReader::new(reader.section(SEC_MAPPING)?, SEC_MAPPING);
+        let mapping = codec::decode_csr(&mut r)?;
+        r.finish()?;
+        let mut r = ByteReader::new(reader.section(SEC_MODEL)?, SEC_MODEL);
+        let model = codec::decode_model(&mut r)?;
+        r.finish()?;
+        Self::new(synthetic, mapping, model)
+    }
+}
+
+impl Condensed {
+    /// Bundles this condensation result with trained weights into a
+    /// serve-ready [`Checkpoint`].
+    ///
+    /// # Panics
+    /// Panics when `model` was not trained on this condensed graph (its
+    /// dimensions disagree) — that is a programming error, unlike the
+    /// typed errors untrusted *bytes* produce on load.
+    #[must_use]
+    pub fn checkpoint(&self, model: &GnnModel) -> Checkpoint {
+        Checkpoint::new(self.synthetic.clone(), self.mapping.clone(), model.clone())
+            .expect("condensed artifacts and model disagree")
+    }
+}
+
+impl<'a> InductiveServer<'a> {
+    /// Boots a serving endpoint from a restored checkpoint — the synthetic
+    /// graph, mapping and weights only; the original graph is never needed.
+    #[must_use]
+    pub fn from_checkpoint(ckpt: &'a Checkpoint) -> Self {
+        Self::on_synthetic(&ckpt.synthetic, &ckpt.mapping, &ckpt.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_gnn::GnnKind;
+    use mcond_linalg::DMat;
+    use mcond_sparse::Coo;
+
+    fn tiny_bundle() -> Checkpoint {
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(1, 2, 0.5);
+        let graph = Graph::new(
+            coo.to_csr(),
+            DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]]),
+            vec![0, 1, 0],
+            2,
+        );
+        let mut map = Coo::new(5, 3);
+        for i in 0..5 {
+            map.push(i, i % 3, 1.0);
+        }
+        let model = GnnModel::new(GnnKind::Sgc, 2, 4, 2, 7);
+        Checkpoint::new(graph, map.to_csr(), model).unwrap()
+    }
+
+    #[test]
+    fn bundle_round_trips_bitwise() {
+        let ckpt = tiny_bundle();
+        let restored = Checkpoint::from_bytes(ckpt.to_writer().to_bytes()).unwrap();
+        assert!(restored.synthetic.adj.bit_eq(&ckpt.synthetic.adj));
+        assert!(restored.synthetic.features.bit_eq(&ckpt.synthetic.features));
+        assert_eq!(restored.synthetic.labels, ckpt.synthetic.labels);
+        assert!(restored.mapping.bit_eq(&ckpt.mapping));
+        assert_eq!(restored.model.kind(), ckpt.model.kind());
+        for (a, b) in restored.model.params().iter().zip(ckpt.model.params()) {
+            assert!(a.bit_eq(b));
+        }
+    }
+
+    #[test]
+    fn mismatched_mapping_is_rejected_at_bundle_time() {
+        let ckpt = tiny_bundle();
+        let bad_map = Csr::empty(5, 7); // wrong synthetic node count
+        match Checkpoint::new(ckpt.synthetic, bad_map, ckpt.model) {
+            Err(StoreError::ShapeMismatch { .. }) => {}
+            other => panic!("expected ShapeMismatch, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn save_load_survives_the_filesystem() {
+        let ckpt = tiny_bundle();
+        let path = std::env::temp_dir().join("mcond_core_checkpoint_roundtrip.mcst");
+        ckpt.save(&path).unwrap();
+        let restored = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(restored.mapping.bit_eq(&ckpt.mapping));
+    }
+}

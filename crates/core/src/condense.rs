@@ -9,7 +9,7 @@ use crate::sampling::sample_edge_batch;
 use mcond_autodiff::{Adam, Tape};
 use mcond_graph::{Graph, InductiveDataset};
 use mcond_linalg::{DMat, MatRng};
-use mcond_sparse::{sparsify_dense, sym_normalize, Csr};
+use mcond_sparse::{renormalize_rows, sparsify_dense, sym_normalize, Csr};
 use std::sync::Arc;
 
 /// Distance used to compare relay gradients in the matching objective.
@@ -172,7 +172,9 @@ impl Condensed {
     pub fn resparsify(&self, mu: f32, delta: f32) -> (Csr, Csr) {
         let (adj, _) = sparsify_dense(&self.dense_adj, mu);
         let (map, _) = sparsify_dense(&self.dense_mapping, delta);
-        (adj, map)
+        // Thresholding drops probability mass; restore the row-stochastic
+        // semantics of `M` (empty rows — fully pruned nodes — stay empty).
+        (adj, renormalize_rows(&map))
     }
 }
 
@@ -499,6 +501,10 @@ pub fn condense(data: &InductiveDataset, cfg: &McondConfig) -> Condensed {
     let dense_mapping = mapping.normalized_detached();
     let (adj_sparse, adj_stats) = sparsify_dense(&dense_adj, cfg.mu);
     let (map_sparse, map_stats) = sparsify_dense(&dense_mapping, cfg.delta);
+    // Eq. (14) drops sub-threshold mass, so surviving rows of `M` no longer
+    // sum to 1; renormalise them (empty rows stay empty) so inductive
+    // propagation `a M` keeps its random-walk interpretation.
+    let map_sparse = renormalize_rows(&map_sparse);
     mcond_obs::point(
         "condense.sparsify",
         &[

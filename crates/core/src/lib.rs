@@ -31,6 +31,7 @@
 
 mod adjgen;
 mod artifact;
+mod checkpoint;
 mod condense;
 mod coreset;
 mod inference;
@@ -42,6 +43,7 @@ mod vng;
 
 pub use adjgen::AdjacencyGenerator;
 pub use artifact::{load_condensed, save_condensed, Artifact};
+pub use checkpoint::Checkpoint;
 pub use condense::{condense, CondenseHistory, Condensed, GradDistance, McondConfig};
 pub use coreset::{coreset, CoresetMethod, ReducedGraph};
 pub use inference::{attach_to_original, attach_to_synthetic, infer_inductive, InferenceTarget};

@@ -40,6 +40,37 @@ impl GnnKind {
             GnnKind::Cheby => "Cheby",
         }
     }
+
+    /// Stable one-byte architecture tag used by the on-disk checkpoint
+    /// format (`mcond-store`). Never renumber existing variants.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            GnnKind::Sgc => 0,
+            GnnKind::Gcn => 1,
+            GnnKind::Sage => 2,
+            GnnKind::Appnp => 3,
+            GnnKind::Cheby => 4,
+        }
+    }
+
+    /// Inverse of [`GnnKind::code`]; `None` for unknown tags (e.g. a
+    /// checkpoint written by a newer build).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        GnnKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
+    /// Number of parameter matrices this architecture owns (weights and
+    /// biases, layer-major — the layout produced by [`GnnModel::new`]).
+    #[must_use]
+    pub fn param_count(self) -> usize {
+        match self {
+            GnnKind::Sgc => 2,
+            GnnKind::Gcn | GnnKind::Appnp => 4,
+            GnnKind::Sage | GnnKind::Cheby => 6,
+        }
+    }
 }
 
 /// Precomputed propagation operators for one graph.
@@ -96,6 +127,7 @@ impl GraphOps {
 /// The parameter list layout per architecture (weights then biases,
 /// layer-major) is an internal detail; use [`GnnModel::tape_params`] /
 /// [`GnnModel::params_mut`] to iterate.
+#[derive(Clone)]
 pub struct GnnModel {
     kind: GnnKind,
     params: Vec<DMat>,
@@ -136,6 +168,27 @@ impl GnnModel {
             ],
         };
         Self { kind, params, hops: 2, alpha: 0.1 }
+    }
+
+    /// Rebuilds a model from an architecture tag and an explicit parameter
+    /// list — the checkpoint-restore path (`mcond-store`). `params` must
+    /// follow the layer-major weights-then-biases layout that
+    /// [`GnnModel::new`] produces and [`GnnModel::params`] exposes.
+    ///
+    /// # Panics
+    /// Panics when the parameter count does not match the architecture;
+    /// callers restoring untrusted bytes must validate first (the store
+    /// decoder does, returning a typed error instead).
+    #[must_use]
+    pub fn from_parts(kind: GnnKind, params: Vec<DMat>, hops: usize, alpha: f32) -> Self {
+        assert_eq!(
+            params.len(),
+            kind.param_count(),
+            "GnnModel::from_parts: {} expects {} parameter matrices",
+            kind.name(),
+            kind.param_count()
+        );
+        Self { kind, params, hops, alpha }
     }
 
     /// Architecture of this model.

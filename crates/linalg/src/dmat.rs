@@ -113,6 +113,21 @@ impl DMat {
         &self.data
     }
 
+    /// Bitwise equality: same shape and every entry has identical bits.
+    ///
+    /// Unlike `==` this treats `NaN` payloads as equal to themselves and
+    /// distinguishes `0.0` from `-0.0` — exactly the contract a
+    /// serialisation round-trip must satisfy.
+    #[must_use]
+    pub fn bit_eq(&self, other: &Self) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Mutable view of the flat row-major buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {

@@ -121,6 +121,25 @@ impl Csr {
         &self.vals[self.indptr[i] as usize..self.indptr[i + 1] as usize]
     }
 
+    /// Bitwise equality: identical shape, structure, and value bits.
+    ///
+    /// Unlike `==` this treats `NaN` values as equal to themselves and
+    /// distinguishes `0.0` from `-0.0` — the contract a serialisation
+    /// round-trip must satisfy.
+    #[must_use]
+    pub fn bit_eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols_n == other.cols_n
+            && self.indptr == other.indptr
+            && self.cols == other.cols
+            && self
+                .vals
+                .iter()
+                .zip(&other.vals)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.vals.len() == other.vals.len()
+    }
+
     /// Iterator over `(row, col, value)` of all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |i| {

@@ -31,5 +31,5 @@ mod sparsify;
 pub use coo::Coo;
 pub use io::{load_csr, save_csr};
 pub use csr::Csr;
-pub use normalize::{row_normalize_dense, sym_normalize, sym_normalize_dense};
+pub use normalize::{renormalize_rows, row_normalize_dense, sym_normalize, sym_normalize_dense};
 pub use sparsify::{sparsify_dense, SparsifyStats};

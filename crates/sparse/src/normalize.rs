@@ -82,6 +82,31 @@ pub fn row_normalize_dense(m: &DMat) -> DMat {
     out
 }
 
+/// Row (random-walk) renormalisation of a CSR matrix: rescales each
+/// non-empty row to sum to 1; empty rows stay empty (no NaNs). Used on the
+/// sparsified mapping `M`, whose rows leave Eq. 15 normalised but lose mass
+/// when thresholding (Eq. 14) drops small entries — renormalising restores
+/// the "distribution over synthetic nodes" semantics the inductive
+/// propagation `a M` relies on.
+#[must_use]
+pub fn renormalize_rows(m: &Csr) -> Csr {
+    let mut indptr = Vec::with_capacity(m.rows() + 1);
+    indptr.push(0u64);
+    let mut cols = Vec::with_capacity(m.nnz());
+    let mut vals = Vec::with_capacity(m.nnz());
+    for i in 0..m.rows() {
+        let s: f32 = m.row_vals(i).iter().sum();
+        cols.extend_from_slice(m.row_cols(i));
+        if s != 0.0 {
+            vals.extend(m.row_vals(i).iter().map(|&v| v / s));
+        } else {
+            vals.extend_from_slice(m.row_vals(i));
+        }
+        indptr.push(cols.len() as u64);
+    }
+    Csr::from_raw(m.rows(), m.cols(), indptr, cols, vals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +169,22 @@ mod tests {
         assert!(approx_eq(r.row(0).iter().sum::<f32>(), 1.0, 1e-6));
         assert_eq!(r.row(1), &[0., 0., 0.]);
         assert!(approx_eq(r.get(2, 2), 0.5, 1e-6));
+    }
+
+    #[test]
+    fn renormalize_rows_restores_distributions() {
+        let mut coo = Coo::new(3, 2);
+        coo.push(0, 0, 0.3);
+        coo.push(0, 1, 0.3);
+        // row 1 empty (all entries pruned by thresholding)
+        coo.push(2, 1, 0.125);
+        let r = renormalize_rows(&coo.to_csr());
+        assert!(approx_eq(r.row_vals(0).iter().sum::<f32>(), 1.0, 1e-6));
+        assert!(approx_eq(r.get(0, 0), 0.5, 1e-6));
+        assert_eq!(r.row_nnz(), vec![2, 0, 1]);
+        assert!(approx_eq(r.get(2, 1), 1.0, 1e-6));
+        // Structure untouched: same nnz, same columns.
+        assert_eq!(r.nnz(), 3);
     }
 
     #[test]

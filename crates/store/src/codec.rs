@@ -1,0 +1,382 @@
+//! Binary codecs for the workspace's value types.
+//!
+//! Everything is little-endian and length-prefixed. Encoders write into a
+//! plain byte buffer; decoders are **total**: any byte string either
+//! decodes or yields a typed [`StoreError`] — no panics, no partial
+//! values. Floats round-trip bit-exactly (NaN payloads included), which is
+//! what the round-trip property suite asserts.
+//!
+//! Layouts:
+//!
+//! ```text
+//! DMat    u64 rows   u64 cols   f32*rows*cols row-major data
+//! Csr     u64 rows   u64 cols   u64 nnz
+//!         u64*rows row lengths  u32*nnz column indices  f32*nnz values
+//! Graph   u64 classes  Csr adjacency  DMat features  u32*N labels
+//! Model   u8 kind  u64 hops  f32 alpha  u64 n_params  DMat*n_params
+//! ```
+
+use crate::StoreError;
+use mcond_gnn::{GnnKind, GnnModel};
+use mcond_graph::Graph;
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+
+/// Append-only byte sink for section payloads.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the payload.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32` (bit-exact, NaN payloads preserved).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked cursor over a section payload. Every overrun or
+/// structural inconsistency becomes a [`StoreError::Malformed`] naming the
+/// section, never a panic.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a section payload; `section` labels errors.
+    #[must_use]
+    pub fn new(buf: &'a [u8], section: &'a str) -> Self {
+        Self { buf, pos: 0, section }
+    }
+
+    fn malformed(&self, reason: impl Into<String>) -> StoreError {
+        StoreError::Malformed { section: self.section.to_owned(), reason: reason.into() }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.malformed(format!("unexpected end at byte {}", self.pos)))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, StoreError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`, rejecting values that are
+    /// impossible given the bytes left (each element costs ≥ 1 byte), so a
+    /// hostile length can never trigger a huge allocation.
+    pub fn get_len(&mut self, what: &str) -> Result<usize, StoreError> {
+        let v = self.get_u64()?;
+        let n = usize::try_from(v)
+            .map_err(|_| self.malformed(format!("{what} count {v} overflows usize")))?;
+        if n > self.buf.len() {
+            return Err(self.malformed(format!(
+                "{what} count {n} exceeds section size {}",
+                self.buf.len()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads `n` little-endian `f32`s.
+    pub fn get_f32_vec(&mut self, n: usize) -> Result<Vec<f32>, StoreError> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| self.malformed("length overflow"))?)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+
+    /// Reads `n` little-endian `u32`s.
+    pub fn get_u32_vec(&mut self, n: usize) -> Result<Vec<u32>, StoreError> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| self.malformed("length overflow"))?)?;
+        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+
+    /// Asserts the payload is fully consumed (no trailing garbage).
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(self.malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// --- DMat ------------------------------------------------------------------
+
+/// Appends a dense matrix.
+pub fn encode_dmat(w: &mut ByteWriter, m: &DMat) {
+    w.put_u64(m.rows() as u64);
+    w.put_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        w.put_f32(v);
+    }
+}
+
+/// Reads a dense matrix.
+///
+/// # Errors
+/// [`StoreError::Malformed`] on truncated or inconsistent payloads.
+pub fn decode_dmat(r: &mut ByteReader<'_>) -> Result<DMat, StoreError> {
+    let rows = r.get_len("DMat rows")?;
+    let cols = r.get_len("DMat cols")?;
+    let len = rows
+        .checked_mul(cols)
+        .ok_or_else(|| r.malformed(format!("DMat {rows}x{cols} overflows")))?;
+    let data = r.get_f32_vec(len)?;
+    Ok(DMat::from_vec(rows, cols, data))
+}
+
+// --- Csr -------------------------------------------------------------------
+
+/// Appends a CSR matrix (row lengths, not raw indptr, so the decoder can
+/// rebuild a guaranteed-monotonic indptr).
+pub fn encode_csr(w: &mut ByteWriter, m: &Csr) {
+    w.put_u64(m.rows() as u64);
+    w.put_u64(m.cols() as u64);
+    w.put_u64(m.nnz() as u64);
+    for i in 0..m.rows() {
+        w.put_u64(m.row_cols(i).len() as u64);
+    }
+    for i in 0..m.rows() {
+        for &c in m.row_cols(i) {
+            w.put_u32(c);
+        }
+    }
+    for i in 0..m.rows() {
+        for &v in m.row_vals(i) {
+            w.put_f32(v);
+        }
+    }
+}
+
+/// Reads a CSR matrix, validating the structural invariants `Csr::from_raw`
+/// would otherwise assert: row lengths summing to `nnz`, every column index
+/// in bounds, sorted duplicate-free rows.
+///
+/// # Errors
+/// [`StoreError::Malformed`] on any violation.
+pub fn decode_csr(r: &mut ByteReader<'_>) -> Result<Csr, StoreError> {
+    let rows = r.get_len("Csr rows")?;
+    let cols_n = r.get_len("Csr cols")?;
+    let nnz = r.get_len("Csr nnz")?;
+    let mut indptr = Vec::with_capacity(rows + 1);
+    indptr.push(0u64);
+    let mut acc = 0u64;
+    for i in 0..rows {
+        let len = r.get_u64()?;
+        acc = acc
+            .checked_add(len)
+            .ok_or_else(|| r.malformed(format!("row length overflow at row {i}")))?;
+        indptr.push(acc);
+    }
+    if acc != nnz as u64 {
+        return Err(r.malformed(format!("row lengths sum to {acc}, header says nnz = {nnz}")));
+    }
+    let cols = r.get_u32_vec(nnz)?;
+    if let Some(&bad) = cols.iter().find(|&&c| c as usize >= cols_n) {
+        return Err(r.malformed(format!("column index {bad} out of range ({cols_n} columns)")));
+    }
+    for i in 0..rows {
+        let row = &cols[indptr[i] as usize..indptr[i + 1] as usize];
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(r.malformed(format!("row {i} columns not strictly ascending")));
+        }
+    }
+    let vals = r.get_f32_vec(nnz)?;
+    Ok(Csr::from_raw(rows, cols_n, indptr, cols, vals))
+}
+
+// --- Graph -----------------------------------------------------------------
+
+/// Appends an attributed graph (the synthetic triple `S = {A', X', Y'}`).
+pub fn encode_graph(w: &mut ByteWriter, g: &Graph) {
+    w.put_u64(g.num_classes as u64);
+    encode_csr(w, &g.adj);
+    encode_dmat(w, &g.features);
+    for &y in &g.labels {
+        w.put_u32(y as u32);
+    }
+}
+
+/// Reads an attributed graph, validating every invariant `Graph::new`
+/// asserts (square adjacency, row agreement, labels in range) so corrupt
+/// bytes yield errors instead of downstream panics.
+///
+/// # Errors
+/// [`StoreError::Malformed`] on any violation.
+pub fn decode_graph(r: &mut ByteReader<'_>) -> Result<Graph, StoreError> {
+    let classes = r.get_len("Graph classes")?;
+    let adj = decode_csr(r)?;
+    let features = decode_dmat(r)?;
+    if adj.rows() != adj.cols() {
+        return Err(r.malformed(format!("adjacency {}x{} is not square", adj.rows(), adj.cols())));
+    }
+    if features.rows() != adj.rows() {
+        return Err(r.malformed(format!(
+            "features have {} rows but the adjacency has {} nodes",
+            features.rows(),
+            adj.rows()
+        )));
+    }
+    let n = adj.rows();
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(r.get_u32()? as usize);
+    }
+    if let Some(&bad) = labels.iter().find(|&&y| y >= classes) {
+        return Err(r.malformed(format!("label {bad} out of range ({classes} classes)")));
+    }
+    Ok(Graph::new(adj, features, labels, classes))
+}
+
+// --- GnnModel --------------------------------------------------------------
+
+/// Largest propagation depth a checkpoint may declare; anything above this
+/// is a corrupt or hostile file, not a real model.
+const MAX_HOPS: u64 = 64;
+
+/// Appends a trained model (architecture tag + hyper-parameters + weights).
+pub fn encode_model(w: &mut ByteWriter, m: &GnnModel) {
+    w.put_u8(m.kind().code());
+    w.put_u64(m.hops as u64);
+    w.put_f32(m.alpha);
+    w.put_u64(m.params().len() as u64);
+    for p in m.params() {
+        encode_dmat(w, p);
+    }
+}
+
+/// Reads a trained model, validating the architecture tag, the parameter
+/// count, and the per-architecture shape chain so `predict` on the restored
+/// model can never index out of bounds.
+///
+/// # Errors
+/// [`StoreError::Malformed`] on any violation.
+pub fn decode_model(r: &mut ByteReader<'_>) -> Result<GnnModel, StoreError> {
+    let code = r.get_u8()?;
+    let kind = GnnKind::from_code(code)
+        .ok_or_else(|| r.malformed(format!("unknown architecture tag {code}")))?;
+    let hops = r.get_u64()?;
+    if hops > MAX_HOPS {
+        return Err(r.malformed(format!("implausible propagation depth {hops}")));
+    }
+    let alpha = r.get_f32()?;
+    if !alpha.is_finite() {
+        return Err(r.malformed(format!("non-finite teleport probability {alpha}")));
+    }
+    let n_params = r.get_len("model params")?;
+    if n_params != kind.param_count() {
+        return Err(r.malformed(format!(
+            "{} expects {} parameter matrices, found {n_params}",
+            kind.name(),
+            kind.param_count()
+        )));
+    }
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        params.push(decode_dmat(r)?);
+    }
+    validate_model_shapes(kind, &params).map_err(|reason| r.malformed(reason))?;
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(GnnModel::from_parts(kind, params, hops as usize, alpha))
+}
+
+/// Checks the weights-then-biases shape chain of each architecture.
+fn validate_model_shapes(kind: GnnKind, p: &[DMat]) -> Result<(), String> {
+    let bias = |b: &DMat, cols: usize, name: &str| {
+        if b.shape() == (1, cols) {
+            Ok(())
+        } else {
+            Err(format!("{name} bias must be 1x{cols}, found {}x{}", b.rows(), b.cols()))
+        }
+    };
+    match kind {
+        GnnKind::Sgc => bias(&p[1], p[0].cols(), "output"),
+        GnnKind::Gcn | GnnKind::Appnp => {
+            bias(&p[1], p[0].cols(), "hidden")?;
+            if p[2].rows() != p[0].cols() {
+                return Err(format!(
+                    "layer-2 weight expects {} input rows, found {}",
+                    p[0].cols(),
+                    p[2].rows()
+                ));
+            }
+            bias(&p[3], p[2].cols(), "output")
+        }
+        GnnKind::Sage | GnnKind::Cheby => {
+            if p[1].shape() != p[0].shape() {
+                return Err("layer-1 weight pair shapes disagree".to_owned());
+            }
+            bias(&p[2], p[0].cols(), "hidden")?;
+            if p[3].rows() != p[0].cols() {
+                return Err(format!(
+                    "layer-2 weight expects {} input rows, found {}",
+                    p[0].cols(),
+                    p[3].rows()
+                ));
+            }
+            if p[4].shape() != p[3].shape() {
+                return Err("layer-2 weight pair shapes disagree".to_owned());
+            }
+            bias(&p[5], p[3].cols(), "output")
+        }
+    }
+}

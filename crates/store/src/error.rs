@@ -1,0 +1,108 @@
+//! The typed error surface of the store.
+//!
+//! Every way a checkpoint can fail to load has its own variant, so callers
+//! can distinguish "the file is from a newer build" from "the mapping
+//! section is corrupt" and degrade accordingly (e.g. recompute the mapping
+//! instead of crashing the server). Loading never panics on malformed
+//! bytes — the fault-injection suite in `tests/faults.rs` enforces that.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open/read/write/rename).
+    Io(io::Error),
+    /// The file does not start with the `MCST` magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file ends before the named structure is complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A CRC32 check failed; the named section's bytes are corrupt.
+    ChecksumMismatch {
+        /// Section name (`"header"` for the section table itself).
+        section: String,
+    },
+    /// The checkpoint parses but lacks a required section.
+    MissingSection {
+        /// Name of the absent section.
+        section: &'static str,
+    },
+    /// A section's payload is structurally invalid (bad lengths, column
+    /// indices out of range, unknown architecture tag, …).
+    Malformed {
+        /// Section the payload belongs to.
+        section: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Sections are individually valid but disagree with each other
+    /// (e.g. the mapping's column count does not index the synthetic
+    /// nodes).
+    ShapeMismatch {
+        /// The violated cross-section invariant.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// The section this error is about, when it names one — lets callers
+    /// fall back per-section (recompute a corrupt `M`, keep the rest).
+    #[must_use]
+    pub fn section(&self) -> Option<&str> {
+        match self {
+            StoreError::ChecksumMismatch { section } | StoreError::Malformed { section, .. } => {
+                Some(section)
+            }
+            StoreError::MissingSection { section } => Some(section),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a checkpoint file (bad MCST magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "checkpoint truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section `{section}`")
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "checkpoint is missing section `{section}`")
+            }
+            StoreError::Malformed { section, reason } => {
+                write!(f, "malformed section `{section}`: {reason}")
+            }
+            StoreError::ShapeMismatch { reason } => {
+                write!(f, "checkpoint sections disagree: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

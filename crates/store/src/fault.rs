@@ -1,0 +1,90 @@
+//! Fault-injection helpers for the checkpoint format.
+//!
+//! The robustness contract is: **every** truncation and **every** single-bit
+//! flip of a valid checkpoint image must surface as a typed [`StoreError`]
+//! — never a panic, never a silently-wrong load. These helpers enumerate
+//! exactly those mutations so test suites (and the CI smoke step) can sweep
+//! them exhaustively. They are part of the public API, not `#[cfg(test)]`,
+//! so downstream crates (core's e2e golden test) can run the same sweep
+//! over real condensed checkpoints.
+//!
+//! [`StoreError`]: crate::StoreError
+
+use crate::file::CheckpointReader;
+
+/// One corrupted variant of a checkpoint image.
+pub struct Corruption {
+    /// Human-readable description for assertion messages,
+    /// e.g. `"truncate@17"` or `"bitflip@42:3 (section `model`)"`.
+    pub label: String,
+    /// The mutated image.
+    pub bytes: Vec<u8>,
+}
+
+/// Every strict prefix of `image`: truncation at each byte boundary from 0
+/// to `len - 1`. Lazy — prefixes are materialised one at a time, so sweeping
+/// a large checkpoint stays O(n) peak memory.
+pub fn truncations(image: &[u8]) -> impl Iterator<Item = Corruption> + '_ {
+    (0..image.len()).map(|end| Corruption {
+        label: format!("truncate@{end}"),
+        bytes: image[..end].to_vec(),
+    })
+}
+
+/// Single-bit flips covering the whole image: every bit of the header and
+/// section table (where one flip can redirect offsets or lengths), plus one
+/// flip per byte of every payload. The per-byte payload coverage keeps the
+/// sweep O(8·n) while still exercising each CRC-protected region at every
+/// offset.
+pub fn bit_flips(image: &[u8]) -> impl Iterator<Item = Corruption> + '_ {
+    let header_len = CheckpointReader::from_bytes(image.to_vec())
+        .map(|r| r.header_len())
+        .unwrap_or(image.len());
+    (0..image.len() * 8).filter_map(move |i| {
+        let (byte, bit) = (i / 8, i % 8);
+        // Exhaustive over the header/table; one bit per byte in payloads.
+        if byte >= header_len && bit != usize::from(image[byte]) % 8 {
+            return None;
+        }
+        let region = if byte < header_len { "header" } else { "payload" };
+        let mut bytes = image.to_vec();
+        bytes[byte] ^= 1 << bit;
+        Some(Corruption { label: format!("bitflip@{byte}:{bit} ({region})"), bytes })
+    })
+}
+
+/// The full sweep: all truncations, then all bit flips.
+pub fn corruption_sweep(image: &[u8]) -> impl Iterator<Item = Corruption> + '_ {
+    truncations(image).chain(bit_flips(image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::CheckpointWriter;
+
+    fn sample_image() -> Vec<u8> {
+        let mut w = CheckpointWriter::new();
+        w.add_section("a", vec![10, 20, 30]);
+        w.add_section("b", vec![40; 16]);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn sweep_covers_truncations_and_flips() {
+        let image = sample_image();
+        let n_trunc = truncations(&image).count();
+        assert_eq!(n_trunc, image.len());
+        let n_flips = bit_flips(&image).count();
+        assert!(n_flips >= image.len(), "at least one flip per byte");
+        assert_eq!(corruption_sweep(&image).count(), n_trunc + n_flips);
+    }
+
+    #[test]
+    fn every_mutation_changes_the_image() {
+        let image = sample_image();
+        for c in corruption_sweep(&image) {
+            assert_ne!(c.bytes, image, "{} left the image unchanged", c.label);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Round-trip property tests for the checkpoint codecs.
+//!
+//! Cases are drawn from the workspace's own seeded [`MatRng`] rather than
+//! an external fuzzing crate so the build stays hermetic. Every property
+//! runs over a fixed fan of per-case seeds; assertion messages carry the
+//! case index so a failure replays deterministically.
+//!
+//! The contract under test is *bitwise* fidelity: whatever value goes in —
+//! empty matrices, 0-row CSRs, `NaN` payloads, infinities, negative zero —
+//! comes back with identical bits after encode → container → decode.
+
+use mcond_gnn::{GnnKind, GnnModel};
+use mcond_graph::Graph;
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{Coo, Csr};
+use mcond_store::codec::{self, ByteReader, ByteWriter};
+use mcond_store::{CheckpointReader, CheckpointWriter};
+
+const CASES: u64 = 64;
+
+fn case_rng(salt: u64, case: u64) -> MatRng {
+    MatRng::seed_from(0x57_0E ^ (salt << 32) ^ case)
+}
+
+/// Random matrix, possibly 0-row / 0-col, salted with non-finite values.
+fn arb_dmat(rng: &mut MatRng, max_dim: usize) -> DMat {
+    let r = rng.index(max_dim + 1);
+    let c = rng.index(max_dim + 1);
+    let mut m = rng.uniform(r, c, -10.0, 10.0);
+    let special = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, f32::MIN_POSITIVE];
+    for v in m.as_mut_slice().iter_mut() {
+        if *v > 9.0 {
+            *v = special[(v.to_bits() as usize) % special.len()];
+        }
+    }
+    m
+}
+
+/// Random CSR, possibly with zero rows, empty rows, and non-finite values.
+fn arb_csr(rng: &mut MatRng, max_dim: usize) -> Csr {
+    let rows = rng.index(max_dim + 1);
+    let cols = 1 + rng.index(max_dim);
+    let mut coo = Coo::new(rows, cols);
+    for i in 0..rows {
+        let deg = rng.index(cols + 1);
+        for _ in 0..deg {
+            let v = match rng.index(8) {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => -0.0,
+                _ => rng.uniform(1, 1, -5.0, 5.0).get(0, 0),
+            };
+            coo.push(i, rng.index(cols), v);
+        }
+    }
+    coo.to_csr()
+}
+
+fn roundtrip_dmat(m: &DMat) -> DMat {
+    let mut w = ByteWriter::new();
+    codec::encode_dmat(&mut w, m);
+    let bytes = w.into_bytes();
+    let mut r = ByteReader::new(&bytes, "test");
+    let out = codec::decode_dmat(&mut r).expect("decode_dmat");
+    r.finish().expect("trailing bytes");
+    out
+}
+
+fn roundtrip_csr(m: &Csr) -> Csr {
+    let mut w = ByteWriter::new();
+    codec::encode_csr(&mut w, m);
+    let bytes = w.into_bytes();
+    let mut r = ByteReader::new(&bytes, "test");
+    let out = codec::decode_csr(&mut r).expect("decode_csr");
+    r.finish().expect("trailing bytes");
+    out
+}
+
+#[test]
+fn dmat_round_trips_bitwise() {
+    for case in 0..CASES {
+        let m = arb_dmat(&mut case_rng(1, case), 12);
+        assert!(roundtrip_dmat(&m).bit_eq(&m), "case {case}");
+    }
+}
+
+#[test]
+fn dmat_edge_shapes_round_trip() {
+    for m in [
+        DMat::zeros(0, 0),
+        DMat::zeros(0, 5),
+        DMat::zeros(5, 0),
+        DMat::from_rows(&[&[f32::NAN, f32::INFINITY, -0.0]]),
+    ] {
+        assert!(roundtrip_dmat(&m).bit_eq(&m), "shape {:?}", m.shape());
+    }
+}
+
+#[test]
+fn csr_round_trips_bitwise() {
+    for case in 0..CASES {
+        let m = arb_csr(&mut case_rng(2, case), 10);
+        assert!(roundtrip_csr(&m).bit_eq(&m), "case {case}");
+    }
+}
+
+#[test]
+fn csr_edge_shapes_round_trip() {
+    for m in [Csr::empty(0, 1), Csr::empty(4, 3), Csr::eye(1)] {
+        assert!(roundtrip_csr(&m).bit_eq(&m), "{}x{}", m.rows(), m.cols());
+    }
+}
+
+#[test]
+fn graph_round_trips_bitwise() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let n = 1 + rng.index(10);
+        let classes = 1 + rng.index(4);
+        let mut coo = Coo::new(n, n);
+        for _ in 0..rng.index(2 * n + 1) {
+            coo.push(rng.index(n), rng.index(n), rng.uniform(1, 1, 0.1, 2.0).get(0, 0));
+        }
+        let d = 1 + rng.index(6);
+        let g = Graph::new(
+            coo.to_csr(),
+            rng.uniform(n, d, -3.0, 3.0),
+            (0..n).map(|_| rng.index(classes)).collect(),
+            classes,
+        );
+        let mut w = ByteWriter::new();
+        codec::encode_graph(&mut w, &g);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "graph");
+        let back = codec::decode_graph(&mut r).expect("decode_graph");
+        r.finish().expect("trailing bytes");
+        assert!(back.adj.bit_eq(&g.adj), "case {case}: adjacency");
+        assert!(back.features.bit_eq(&g.features), "case {case}: features");
+        assert_eq!(back.labels, g.labels, "case {case}: labels");
+        assert_eq!(back.num_classes, g.num_classes, "case {case}: classes");
+    }
+}
+
+#[test]
+fn every_architecture_round_trips_bitwise() {
+    for (case, kind) in (0..CASES).zip(GnnKind::ALL.into_iter().cycle()) {
+        let mut rng = case_rng(4, case);
+        let (din, hidden, dout) = (1 + rng.index(8), 1 + rng.index(8), 1 + rng.index(4));
+        let model = GnnModel::new(kind, din, hidden, dout, 0xBEEF ^ case);
+        let mut w = ByteWriter::new();
+        codec::encode_model(&mut w, &model);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "model");
+        let back = codec::decode_model(&mut r).expect("decode_model");
+        r.finish().expect("trailing bytes");
+        assert_eq!(back.kind(), model.kind(), "case {case}");
+        assert_eq!(back.hops, model.hops, "case {case}");
+        assert_eq!(back.alpha.to_bits(), model.alpha.to_bits(), "case {case}");
+        assert_eq!(back.params().len(), model.params().len(), "case {case}");
+        for (a, b) in back.params().iter().zip(model.params()) {
+            assert!(a.bit_eq(b), "case {case} ({kind:?}): weights drifted");
+        }
+    }
+}
+
+/// Whole-container property: random multi-section checkpoints survive the
+/// image round trip byte-for-byte.
+#[test]
+fn container_round_trips_random_sections() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let n_sections = 1 + rng.index(5);
+        let mut w = CheckpointWriter::new();
+        let mut expect = Vec::new();
+        for s in 0..n_sections {
+            let len = rng.index(200);
+            let payload: Vec<u8> =
+                (0..len).map(|i| (rng.index(256) ^ i) as u8).collect();
+            let name = format!("sec{s}");
+            w.add_section(&name, payload.clone());
+            expect.push((name, payload));
+        }
+        let r = CheckpointReader::from_bytes(w.to_bytes()).expect("valid image");
+        for (name, payload) in &expect {
+            let got = r
+                .section(Box::leak(name.clone().into_boxed_str()))
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert_eq!(got, payload.as_slice(), "case {case}: section {name}");
+        }
+    }
+}

@@ -7,6 +7,13 @@ OUT="results"
 mkdir -p "$OUT"
 # Build once so BIN_DIR is fresh (skip with PREBUILT=1 when binaries are known-good).
 if [ -z "${PREBUILT:-}" ]; then cargo build --release -p mcond-bench --bins; fi
+# Persistence smoke: condense → checkpoint → restore → serve must stay
+# bitwise-identical before any multi-phase run that saves artifacts in one
+# phase and reloads them in the next (skip with SKIP_CHECKPOINT=1).
+if [ -z "${SKIP_CHECKPOINT:-}" ]; then
+  echo "=== running checkpointing smoke ==="
+  cargo run --release --example checkpointing | tee "$OUT/checkpointing.txt"
+fi
 for exp in table1_datasets table2_accuracy fig3_cost_graph_batch fig4_cost_node_batch \
            table3_propagation table4_architectures table5_ablation \
            fig5_mapping_vis fig6_sparsification fig7_sensitivity ablation_design \

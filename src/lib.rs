@@ -18,6 +18,8 @@
 //! * [`graph`] — datasets, inductive splits, generators,
 //! * [`gnn`] — SGC/GCN/GraphSAGE/APPNP/Cheby models and training,
 //! * [`core`] — MCond itself plus GCond/coreset/VNG baselines,
+//! * [`store`] — versioned, CRC-checked checkpointing of condensed
+//!   artifacts ([`core::Checkpoint`] bundles `S`, `M` and the weights),
 //! * [`propagate`] — label & error propagation calibration,
 //! * [`par`] — the deterministic worker pool behind the kernels
 //!   (`MCOND_THREADS`; results are bitwise identical at any thread count).
@@ -61,13 +63,14 @@ pub use mcond_linalg as linalg;
 pub use mcond_propagate as propagate;
 pub use mcond_par as par;
 pub use mcond_sparse as sparse;
+pub use mcond_store as store;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use mcond_autodiff::{Adam, Tape, Var};
     pub use mcond_core::{
         attach_to_original, attach_to_synthetic, condense, coreset, infer_inductive, vng,
-        Condensed, CoresetMethod, InferenceTarget, McondConfig,
+        Checkpoint, Condensed, CoresetMethod, InductiveServer, InferenceTarget, McondConfig,
     };
     pub use mcond_gnn::{
         accuracy, train, CostMeter, GnnKind, GnnModel, GraphOps, TrainConfig,
@@ -78,4 +81,5 @@ pub mod prelude {
     pub use mcond_linalg::{DMat, MatRng};
     pub use mcond_propagate::{error_propagation, label_propagation, PropagationConfig};
     pub use mcond_sparse::{sparsify_dense, sym_normalize, Coo, Csr};
+    pub use mcond_store::StoreError;
 }

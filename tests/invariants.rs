@@ -122,15 +122,53 @@ fn synthetic_graph_is_a_valid_graph() {
         );
         assert_ne!(i, j, "learned self-loop");
     }
-    // Mapping values in (0, 1], rows bounded by 1 after normalisation.
+    // Mapping rows are renormalised after Eq. (14) thresholding: every
+    // surviving (non-empty) row is a distribution over synthetic nodes —
+    // it sums to exactly 1, not merely "at most 1 minus the pruned mass".
+    // Rows whose entries were all pruned stay empty (no NaN backfill).
     for i in 0..condensed.mapping.rows() {
-        let row_sum: f32 = condensed.mapping.row_vals(i).iter().sum();
-        assert!(row_sum <= 1.0 + 1e-4, "mapping row {i} sums to {row_sum}");
-        assert!(condensed.mapping.row_vals(i).iter().all(|&v| v > 0.0));
+        let vals = condensed.mapping.row_vals(i);
+        if vals.is_empty() {
+            continue;
+        }
+        let row_sum: f32 = vals.iter().sum();
+        assert!(
+            mcond::linalg::approx_eq(row_sum, 1.0, 1e-4),
+            "mapping row {i} sums to {row_sum}, expected 1"
+        );
+        assert!(vals.iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
     }
     // Labels cover every class.
     let counts = s.class_counts();
     assert!(counts.iter().all(|&c| c >= 1), "{counts:?}");
+}
+
+#[test]
+fn resparsify_with_extreme_delta_prunes_rows_without_nans() {
+    // Regression: renormalising the mapping after thresholding must leave
+    // fully-pruned rows empty instead of dividing by a zero row sum. An
+    // extreme δ prunes every entry of most (possibly all) rows; the result
+    // must stay finite and any surviving row must still sum to 1.
+    let data = load_dataset("pubmed", Scale::Small, 5).unwrap();
+    let cfg = McondConfig {
+        ratio: 0.02,
+        outer_loops: 1,
+        relay_steps: 3,
+        mapping_steps: 5,
+        support_cap: 32,
+        ..McondConfig::default()
+    };
+    let condensed = condense(&data, &cfg);
+    let (_, map) = condensed.resparsify(cfg.mu, 0.999_999);
+    assert!(map.nnz() < condensed.mapping.nnz(), "extreme delta should prune");
+    for i in 0..map.rows() {
+        let vals = map.row_vals(i);
+        assert!(vals.iter().all(|v| v.is_finite()), "row {i} has non-finite entries");
+        if !vals.is_empty() {
+            let s: f32 = vals.iter().sum();
+            assert!(mcond::linalg::approx_eq(s, 1.0, 1e-4), "row {i} sums to {s}");
+        }
+    }
 }
 
 #[test]
