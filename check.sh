@@ -10,7 +10,8 @@ for cmd in \
     "cargo clippy --workspace --all-targets -- -D warnings" \
     "cargo test --workspace" \
     "cargo bench --workspace --no-run" \
-    "cargo run --release --example checkpointing"
+    "cargo run --release --example checkpointing" \
+    "cargo run --release --example robust_serving"
 do
     if ! grep -q "run: $cmd\$" "$WORKFLOW"; then
         echo "DRIFT: $WORKFLOW is missing the tier-1 step: $cmd" >&2
@@ -34,4 +35,7 @@ cargo bench --workspace --no-run
 # Checkpoint round-trip smoke: condense → save → restore → serve, bitwise
 # verified inside the example (also exercises a corrupted-file rejection).
 cargo run --release --example checkpointing
+# Chaos sweep: every corrupted batch gets a typed ServeError on both
+# serving modes at 1 and 4 threads; valid siblings stay bitwise identical.
+cargo run --release --example robust_serving
 echo "all checks passed"

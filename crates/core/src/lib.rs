@@ -31,6 +31,7 @@
 
 mod adjgen;
 mod artifact;
+pub mod chaos;
 mod checkpoint;
 mod condense;
 mod coreset;
@@ -38,6 +39,7 @@ mod inference;
 mod mapping;
 mod relay;
 mod sampling;
+mod serve_error;
 mod server;
 mod vng;
 
@@ -50,5 +52,6 @@ pub use inference::{attach_to_original, attach_to_synthetic, infer_inductive, In
 pub use mapping::{class_correlation_of, Mapping};
 pub use relay::Relay;
 pub use sampling::sample_edge_batch;
-pub use server::InductiveServer;
+pub use serve_error::ServeError;
+pub use server::{FallbackPolicy, InductiveServer, DEFAULT_MAX_BATCH};
 pub use vng::vng;

@@ -12,6 +12,20 @@
 //!
 //! Results are exactly equal to the materialised path (verified by test).
 //!
+//! # Fault tolerance
+//!
+//! Requests are untrusted. [`try_serve`](InductiveServer::try_serve)
+//! validates every batch against the serving base (dimensions, shapes,
+//! finiteness — see `NodeBatch::validate_against`) and returns a typed
+//! [`ServeError`] instead of panicking;
+//! [`try_serve_many`](InductiveServer::try_serve_many) additionally
+//! isolates each request behind `catch_unwind`, so an internal panic in one
+//! request surfaces as [`ServeError::Panicked`] while its siblings
+//! complete. A per-node [`FallbackPolicy`] governs inductive nodes whose
+//! attachment row is empty or whose mapping coverage falls below a
+//! threshold. The `chaos` module sweeps systematically corrupted batches
+//! through both serving modes to prove the taxonomy is total.
+//!
 //! # Concurrency
 //!
 //! The server is `Sync`: the base graph is shared behind an [`Arc`] and the
@@ -22,13 +36,52 @@
 //! parallelism), so per-batch results are identical to a sequential
 //! [`serve`](InductiveServer::serve) loop.
 
+use crate::serve_error::{panic_context, ServeError};
 use mcond_gnn::{GnnModel, GraphOps};
 use mcond_graph::{Graph, NodeBatch};
 use mcond_linalg::DMat;
 use mcond_obs::{Histogram, MetricsSnapshot};
-use mcond_sparse::Csr;
+use mcond_sparse::{Coo, Csr};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
+
+/// Default cap on nodes per request; far above any sane batch, low enough
+/// to reject a length field gone wild before it allocates.
+pub const DEFAULT_MAX_BATCH: usize = 1 << 20;
+
+/// What to do with an inductive node whose attachment row (`a` row for
+/// Eq. 3 serving, `aM` row for Eq. 11) is empty, or whose mapping coverage
+/// (fraction of incremental mass surviving the sparsified `M`) falls below
+/// the server's threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Fail the whole request with [`ServeError::NoAttachment`] — the
+    /// caller decides what degraded service means.
+    Reject,
+    /// Serve the node from its own features only: its attachment row is
+    /// dropped, so propagation sees just the self-loop (plus any batch
+    /// interconnections). The default — with a zero threshold this is
+    /// numerically identical to the pre-fallback behaviour, because only
+    /// already-empty rows qualify.
+    #[default]
+    SelfLoopOnly,
+    /// Degrade the batch from Eq. 11 to Eq. 3: re-attach it to the
+    /// original graph provided via
+    /// [`with_original_graph`](InductiveServer::with_original_graph).
+    /// GCondenser-style quality gaps in the condensed graph then cost
+    /// latency, not accuracy. Requires the original graph; errors with
+    /// [`ServeError::FallbackUnavailable`] otherwise. On an
+    /// original-graph server this is already the serving mode, so it
+    /// behaves like [`FallbackPolicy::SelfLoopOnly`] without dropping rows.
+    OriginalGraph,
+}
+
+/// The Eq. 3 fallback target a synthetic server can degrade to.
+struct OriginalBase<'a> {
+    adj: Arc<Csr>,
+    features: &'a DMat,
+}
 
 /// Per-instance serving statistics; kept on the server (not the global
 /// registry) so concurrent servers — and parallel tests — never mix
@@ -36,9 +89,13 @@ use std::time::Instant;
 #[derive(Default)]
 struct ServeStats {
     requests: u64,
+    rejected: u64,
+    fallback: u64,
+    panics: u64,
     latency_us: Histogram,
     fanout: Histogram,
     batch_size: Histogram,
+    coverage: Histogram,
 }
 
 /// A reusable inductive-inference endpoint over a fixed base graph
@@ -48,6 +105,10 @@ pub struct InductiveServer<'a> {
     base_features: &'a DMat,
     mapping: Option<&'a Csr>,
     model: &'a GnnModel,
+    fallback: FallbackPolicy,
+    coverage_threshold: f32,
+    max_batch: usize,
+    original: Option<OriginalBase<'a>>,
     stats: Mutex<ServeStats>,
 }
 
@@ -60,6 +121,10 @@ impl<'a> InductiveServer<'a> {
             base_features: &graph.features,
             mapping: None,
             model,
+            fallback: FallbackPolicy::default(),
+            coverage_threshold: 0.0,
+            max_batch: DEFAULT_MAX_BATCH,
+            original: None,
             stats: Mutex::new(ServeStats::default()),
         }
     }
@@ -81,8 +146,65 @@ impl<'a> InductiveServer<'a> {
             base_features: &graph.features,
             mapping: Some(mapping),
             model,
+            fallback: FallbackPolicy::default(),
+            coverage_threshold: 0.0,
+            max_batch: DEFAULT_MAX_BATCH,
+            original: None,
             stats: Mutex::new(ServeStats::default()),
         }
+    }
+
+    /// Sets the per-node [`FallbackPolicy`] (default
+    /// [`FallbackPolicy::SelfLoopOnly`]).
+    #[must_use]
+    pub fn with_fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
+        self
+    }
+
+    /// Sets the mapping-coverage threshold below which a node triggers the
+    /// fallback policy (default `0.0`: only empty attachment rows
+    /// trigger). Coverage is the fraction of a node's incremental mass that
+    /// survives the sparsified mapping, in `[0, 1]` for a row-stochastic
+    /// `M`.
+    #[must_use]
+    pub fn with_coverage_threshold(mut self, threshold: f32) -> Self {
+        self.coverage_threshold = threshold.max(0.0);
+        self
+    }
+
+    /// Caps the number of nodes a single request may carry (default
+    /// [`DEFAULT_MAX_BATCH`]); larger batches are rejected with
+    /// [`ServeError::BatchTooLarge`].
+    #[must_use]
+    pub fn with_max_batch(mut self, max: usize) -> Self {
+        self.max_batch = max;
+        self
+    }
+
+    /// Attaches the original graph as the Eq. 3 degradation target for
+    /// [`FallbackPolicy::OriginalGraph`].
+    ///
+    /// # Panics
+    /// Panics when the graph does not match the batch indexing this server
+    /// expects (mapping rows / base nodes) or the base feature dimension.
+    #[must_use]
+    pub fn with_original_graph(mut self, graph: &'a Graph) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            self.expected_inc_cols(),
+            "with_original_graph: node count must match the batch indexing"
+        );
+        assert_eq!(
+            graph.feature_dim(),
+            self.base_features.cols(),
+            "with_original_graph: feature dimension must match the base"
+        );
+        self.original = Some(OriginalBase {
+            adj: Arc::new(graph.adj.clone()),
+            features: &graph.features,
+        });
+        self
     }
 
     /// Number of base nodes.
@@ -91,49 +213,167 @@ impl<'a> InductiveServer<'a> {
         self.base_adj.rows()
     }
 
+    /// The incremental-adjacency width every request must have: training
+    /// nodes for Eq. 3 serving, mapping rows for Eq. 11.
+    fn expected_inc_cols(&self) -> usize {
+        self.mapping.map_or_else(|| self.base_adj.rows(), Csr::rows)
+    }
+
     /// Logits (`n x C`) for one batch of inductive nodes.
     ///
+    /// Thin panicking wrapper over [`try_serve`](InductiveServer::try_serve)
+    /// for callers that control their inputs.
+    ///
     /// # Panics
-    /// Panics when the batch's incremental columns do not match the base
-    /// (original-graph serving) or the mapping rows (synthetic serving).
+    /// Panics on any [`ServeError`], e.g. when the batch's incremental
+    /// columns do not match the base (original-graph serving) or the
+    /// mapping rows (synthetic serving).
     #[must_use]
     pub fn serve(&self, batch: &NodeBatch) -> DMat {
+        self.try_serve(batch).unwrap_or_else(|e| panic!("serve: {e}"))
+    }
+
+    /// Logits (`n x C`) for one batch, with every failure mode reported as
+    /// a typed [`ServeError`] instead of a panic.
+    ///
+    /// The batch is validated against the serving base first (dimensions,
+    /// interconnect shape, finiteness), then sized against the batch cap;
+    /// an empty batch short-circuits to a `0 x C` response without
+    /// touching the kernels. Per-node attachment coverage is measured and
+    /// the [`FallbackPolicy`] applied before the forward pass, and the
+    /// response is withheld ([`ServeError::NonFiniteLogits`]) if the model
+    /// produces a non-finite value.
+    ///
+    /// # Errors
+    /// See [`ServeError`] for the full taxonomy.
+    pub fn try_serve(&self, batch: &NodeBatch) -> Result<DMat, ServeError> {
+        let out = self.serve_validated(batch);
+        if out.is_err() {
+            mcond_obs::counter_add("serve.rejected", 1);
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.rejected += 1;
+        }
+        out
+    }
+
+    fn serve_validated(&self, batch: &NodeBatch) -> Result<DMat, ServeError> {
         let _span = mcond_obs::span_with("serve", vec![("batch", batch.len().into())]);
         let start = Instant::now();
-        let inc = match self.mapping {
+        batch.validate_against(self.expected_inc_cols(), self.base_features.cols())?;
+        if batch.len() > self.max_batch {
+            return Err(ServeError::BatchTooLarge { len: batch.len(), max: self.max_batch });
+        }
+        if batch.is_empty() {
+            // Fast path: no degree updates, no forward pass — just the
+            // `0 x C` shape the caller expects.
+            self.record_request(batch, 0, &[], 0, start);
+            return Ok(DMat::zeros(0, self.model.out_dim()));
+        }
+
+        // Attachment rows and per-node mapping coverage.
+        let (inc, coverage) = match self.mapping {
             None => {
-                assert_eq!(
-                    batch.incremental.cols(),
-                    self.base_adj.rows(),
-                    "serve: batch indexes a different base graph"
-                );
-                Arc::new(batch.incremental.clone())
+                let cov: Vec<f32> = (0..batch.len())
+                    .map(|i| if batch.incremental.row_cols(i).is_empty() { 0.0 } else { 1.0 })
+                    .collect();
+                (batch.incremental.clone(), cov)
             }
             Some(mapping) => {
-                assert_eq!(
-                    batch.incremental.cols(),
-                    mapping.rows(),
-                    "serve: batch indexes a different original graph"
-                );
-                Arc::new(crate::inference::spmm_sparse(&batch.incremental, mapping))
+                let am = crate::inference::spmm_sparse(&batch.incremental, mapping);
+                let cov: Vec<f32> = (0..batch.len())
+                    .map(|i| {
+                        let raw: f32 = batch.incremental.row_vals(i).iter().sum();
+                        if raw > 0.0 {
+                            am.row_vals(i).iter().sum::<f32>() / raw
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                (am, cov)
             }
+        };
+        let uncovered: Vec<usize> = (0..batch.len())
+            .filter(|&i| inc.row_cols(i).is_empty() || coverage[i] < self.coverage_threshold)
+            .collect();
+
+        let mut inc = inc;
+        let mut fallback_nodes = 0u64;
+        let mut use_original = false;
+        if !uncovered.is_empty() {
+            match self.fallback {
+                FallbackPolicy::Reject => {
+                    let node = uncovered[0];
+                    return Err(ServeError::NoAttachment { node, coverage: coverage[node] });
+                }
+                FallbackPolicy::SelfLoopOnly => {
+                    fallback_nodes = uncovered.len() as u64;
+                    if uncovered.iter().any(|&i| !inc.row_cols(i).is_empty()) {
+                        inc = clear_rows(&inc, &uncovered);
+                    }
+                }
+                FallbackPolicy::OriginalGraph => {
+                    fallback_nodes = uncovered.len() as u64;
+                    if self.mapping.is_some() {
+                        if self.original.is_none() {
+                            return Err(ServeError::FallbackUnavailable { node: uncovered[0] });
+                        }
+                        use_original = true;
+                    }
+                    // Eq. 3 serving is already on the original graph:
+                    // nothing to degrade to, serve the rows as they are.
+                }
+            }
+            if fallback_nodes > 0 {
+                mcond_obs::counter_add("serve.fallback", fallback_nodes);
+            }
+        }
+
+        // Forward pass on the chosen base (synthetic, or the Eq. 3 target
+        // when the whole batch degraded to the original graph).
+        let (base_adj, base_features, inc) = if use_original {
+            let original = self.original.as_ref().expect("checked above");
+            (&original.adj, original.features, Arc::new(batch.incremental.clone()))
+        } else {
+            (&self.base_adj, self.base_features, Arc::new(inc))
         };
         let inter = Arc::new(batch.interconnect.clone());
         let fanout = inc.nnz();
-        let ops = GraphOps::extended(&self.base_adj, &inc, &inter);
-        let x = self.base_features.vstack(&batch.features);
+        let ops = GraphOps::extended(base_adj, &inc, &inter);
+        let x = base_features.vstack(&batch.features);
         let logits = self.model.predict(&ops, &x);
-        let out = logits.slice_rows(self.base_nodes(), logits.rows());
+        let out = logits.slice_rows(base_adj.rows(), logits.rows());
+        if !out.all_finite() {
+            return Err(ServeError::NonFiniteLogits);
+        }
 
+        self.record_request(batch, fanout, &coverage, fallback_nodes, start);
+        Ok(out)
+    }
+
+    /// Books one answered request into the per-server statistics and the
+    /// event log.
+    fn record_request(
+        &self,
+        batch: &NodeBatch,
+        fanout: usize,
+        coverage: &[f32],
+        fallback_nodes: u64,
+        start: Instant,
+    ) {
         let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         {
             let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
             stats.requests += 1;
+            stats.fallback += fallback_nodes;
             #[allow(clippy::cast_precision_loss)]
             {
                 stats.latency_us.record(latency_us as f64);
                 stats.fanout.record(fanout as f64);
                 stats.batch_size.record(batch.len() as f64);
+                for &c in coverage {
+                    stats.coverage.record(f64::from(c));
+                }
             }
         }
         if mcond_obs::enabled() {
@@ -142,11 +382,11 @@ impl<'a> InductiveServer<'a> {
                 &[
                     ("batch", batch.len().into()),
                     ("fanout", fanout.into()),
+                    ("fallback", fallback_nodes.into()),
                     ("latency_us", latency_us.into()),
                 ],
             );
         }
-        out
     }
 
     /// Logits for every batch, fanned across the `mcond-par` pool.
@@ -157,8 +397,10 @@ impl<'a> InductiveServer<'a> {
     /// statistic observes). Output order matches input order.
     ///
     /// # Panics
-    /// Panics when any batch indexes a different base graph, exactly as
-    /// [`serve`](InductiveServer::serve) would.
+    /// Panics when any batch fails [`try_serve`](InductiveServer::try_serve),
+    /// exactly as [`serve`](InductiveServer::serve) would — use
+    /// [`try_serve_many`](InductiveServer::try_serve_many) to keep one bad
+    /// batch from failing the fan-out.
     #[must_use]
     pub fn serve_many(&self, batches: &[NodeBatch]) -> Vec<DMat> {
         let _span = mcond_obs::span_with("serve_many", vec![("batches", batches.len().into())]);
@@ -180,21 +422,86 @@ impl<'a> InductiveServer<'a> {
             .collect()
     }
 
+    /// Per-request results for every batch, fanned across the `mcond-par`
+    /// pool with **panic isolation**: each request runs behind
+    /// `catch_unwind`, so a batch that panics inside the server (a
+    /// misconfiguration surfacing in a kernel, say) yields
+    /// `Err(`[`ServeError::Panicked`]`)` in its slot while every sibling
+    /// request completes normally. The stats mutex recovers from poisoning,
+    /// so the server stays fully usable afterwards.
+    ///
+    /// Successful results are bitwise identical to a sequential
+    /// [`try_serve`](InductiveServer::try_serve) loop at any thread count,
+    /// regardless of how many siblings fail. Output order matches input
+    /// order.
+    #[must_use]
+    pub fn try_serve_many(&self, batches: &[NodeBatch]) -> Vec<Result<DMat, ServeError>> {
+        let _span =
+            mcond_obs::span_with("try_serve_many", vec![("batches", batches.len().into())]);
+        let slots: Vec<Mutex<Option<Result<DMat, ServeError>>>> =
+            batches.iter().map(|_| Mutex::new(None)).collect();
+        mcond_par::parallel_for_chunks(batches.len(), 1, |range| {
+            for i in range {
+                let out = catch_unwind(AssertUnwindSafe(|| self.try_serve(&batches[i])))
+                    .unwrap_or_else(|payload| {
+                        mcond_obs::counter_add("serve.panic", 1);
+                        let mut stats =
+                            self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                        stats.panics += 1;
+                        drop(stats);
+                        Err(ServeError::Panicked { context: panic_context(payload.as_ref()) })
+                    });
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("try_serve_many: pool completed with an unfilled slot")
+            })
+            .collect()
+    }
+
     /// Freezes this server's request statistics (latency, attachment
-    /// fanout `‖aM̂‖₀`, batch sizes) into a snapshot for reports.
+    /// fanout `‖aM̂‖₀`, batch sizes, per-node mapping coverage, and the
+    /// rejected/fallback/panic tallies) into a snapshot for reports.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
         MetricsSnapshot {
-            counters: vec![("serve.requests".to_owned(), stats.requests)],
+            counters: vec![
+                ("serve.requests".to_owned(), stats.requests),
+                ("serve.rejected".to_owned(), stats.rejected),
+                ("serve.fallback".to_owned(), stats.fallback),
+                ("serve.panic".to_owned(), stats.panics),
+            ],
             gauges: Vec::new(),
             histograms: vec![
                 ("serve.latency_us".to_owned(), stats.latency_us.summary()),
                 ("serve.fanout".to_owned(), stats.fanout.summary()),
                 ("serve.batch_size".to_owned(), stats.batch_size.summary()),
+                ("serve.coverage".to_owned(), stats.coverage.summary()),
             ],
         }
     }
+}
+
+/// A copy of `m` with the given rows structurally emptied — the
+/// `SelfLoopOnly` fallback's attachment pruning.
+fn clear_rows(m: &Csr, rows: &[usize]) -> Csr {
+    let mut drop = vec![false; m.rows()];
+    for &i in rows {
+        drop[i] = true;
+    }
+    let mut coo = Coo::with_capacity(m.rows(), m.cols(), m.nnz());
+    for (i, j, v) in m.iter() {
+        if !drop[i] {
+            coo.push(i, j, v);
+        }
+    }
+    coo.to_csr()
 }
 
 #[cfg(test)]
@@ -226,6 +533,38 @@ mod tests {
             1,
         );
         (data, condensed, model)
+    }
+
+    /// 6-node toy for fallback-policy tests: train {0,1,2} triangle; val
+    /// {3}; test {4,5}. Synthetic graph with 2 nodes; the mapping covers
+    /// train nodes {0,1} only — train node 2's row is empty, as after
+    /// extreme Eq. 14 pruning — so test node 5 (connected only to train 2)
+    /// gets an empty `aM` row.
+    fn fallback_fixture() -> (mcond_graph::InductiveDataset, Graph, Csr, GnnModel) {
+        use mcond_graph::InductiveDataset;
+        use mcond_linalg::MatRng;
+
+        let mut coo = Coo::new(6, 6);
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 0), (4, 1), (5, 2), (4, 5)] {
+            coo.push_sym(i, j, 1.0);
+        }
+        let features = MatRng::seed_from(0).normal(6, 3, 0.0, 1.0);
+        let g = Graph::new(coo.to_csr(), features, vec![0, 1, 0, 1, 0, 1], 2);
+        let data = InductiveDataset::new(g, vec![0, 1, 2], vec![3], vec![4, 5]);
+
+        let syn = Graph::new(
+            Csr::eye(2),
+            DMat::from_rows(&[&[1., 0., 0.], &[0., 1., 0.]]),
+            vec![0, 1],
+            2,
+        );
+        let mut map = Coo::new(3, 2);
+        map.push(0, 0, 0.5);
+        map.push(1, 0, 0.5);
+        // train node 2: all mapping mass pruned.
+        let mapping = map.to_csr();
+        let model = GnnModel::new(GnnKind::Gcn, 3, 4, 2, 1);
+        (data, syn, mapping, model)
     }
 
     #[test]
@@ -328,10 +667,17 @@ mod tests {
         let seq_snap = sequential.metrics_snapshot();
         let par_snap = concurrent.metrics_snapshot();
         assert_eq!(seq_snap.counters, par_snap.counters);
-        assert_eq!(
-            par_snap.counters,
-            vec![("serve.requests".to_owned(), batches.len() as u64)]
-        );
+        let counter = |name: &str| {
+            par_snap
+                .counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(counter("serve.requests"), batches.len() as u64);
+        assert_eq!(counter("serve.rejected"), 0);
+        assert_eq!(counter("serve.panic"), 0);
     }
 
     #[test]
@@ -345,5 +691,131 @@ mod tests {
         let other = load_dataset("flickr", Scale::Small, 0).unwrap();
         let bad_batch = other.test_batches(10, false).remove(0);
         let _ = server.serve(&bad_batch);
+    }
+
+    /// Empty batches short-circuit to `0 x C` on both serving modes — no
+    /// degree updates, no forward pass — and still count as requests.
+    #[test]
+    fn empty_batch_fast_path_returns_zero_by_c() {
+        let (data, syn, mapping, model) = fallback_fixture();
+        let original = data.original_graph();
+        let empty = data.batch(&[], true);
+
+        let on_original = InductiveServer::on_original(&original, &model);
+        let out = on_original.serve(&empty);
+        assert_eq!(out.shape(), (0, model.out_dim()));
+
+        let on_synthetic = InductiveServer::on_synthetic(&syn, &mapping, &model);
+        let out = on_synthetic.try_serve(&empty).expect("empty batch is valid");
+        assert_eq!(out.shape(), (0, 2));
+
+        let snap = on_synthetic.metrics_snapshot();
+        assert!(snap.counters.contains(&("serve.requests".to_owned(), 1)));
+        assert!(snap.counters.contains(&("serve.rejected".to_owned(), 0)));
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_with_typed_error() {
+        let (data, syn, mapping, model) = fallback_fixture();
+        let server =
+            InductiveServer::on_synthetic(&syn, &mapping, &model).with_max_batch(1);
+        let batch = data.batch(&[4, 5], true);
+        assert_eq!(
+            server.try_serve(&batch),
+            Err(ServeError::BatchTooLarge { len: 2, max: 1 })
+        );
+        let snap = server.metrics_snapshot();
+        assert!(snap.counters.contains(&("serve.rejected".to_owned(), 1)));
+    }
+
+    /// Node 5's `aM` row is empty (its only training neighbour has a fully
+    /// pruned mapping row), so each policy takes its branch.
+    #[test]
+    fn fallback_policies_cover_the_empty_attachment_row() {
+        let (data, syn, mapping, model) = fallback_fixture();
+        let batch = data.batch(&[5], true);
+
+        // Reject: typed error naming the node.
+        let reject = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_fallback(FallbackPolicy::Reject);
+        match reject.try_serve(&batch) {
+            Err(ServeError::NoAttachment { node: 0, coverage }) => {
+                assert!(approx_eq(coverage, 0.0, 1e-6));
+            }
+            other => panic!("expected NoAttachment, got {other:?}"),
+        }
+
+        // SelfLoopOnly (default): serves finite logits, counts the node.
+        let self_loop = InductiveServer::on_synthetic(&syn, &mapping, &model);
+        let out = self_loop.try_serve(&batch).expect("self-loop fallback serves");
+        assert_eq!(out.shape(), (1, 2));
+        assert!(out.all_finite());
+        assert!(self_loop
+            .metrics_snapshot()
+            .counters
+            .contains(&("serve.fallback".to_owned(), 1)));
+
+        // OriginalGraph without a target: typed error, not a panic.
+        let unarmed = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_fallback(FallbackPolicy::OriginalGraph);
+        assert_eq!(
+            unarmed.try_serve(&batch),
+            Err(ServeError::FallbackUnavailable { node: 0 })
+        );
+
+        // OriginalGraph with the original attached: bitwise-identical to
+        // serving the same batch on an original-graph server (Eq. 3).
+        let original = data.original_graph();
+        let armed = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_fallback(FallbackPolicy::OriginalGraph)
+            .with_original_graph(&original);
+        let degraded = armed.try_serve(&batch).expect("degraded serve succeeds");
+        let reference = InductiveServer::on_original(&original, &model).serve(&batch);
+        assert_eq!(degraded.as_slice(), reference.as_slice());
+        assert!(armed
+            .metrics_snapshot()
+            .counters
+            .contains(&("serve.fallback".to_owned(), 1)));
+    }
+
+    /// A coverage threshold above what the mapping preserves forces the
+    /// fallback even for non-empty `aM` rows; `SelfLoopOnly` then prunes
+    /// the weak attachment instead of serving it.
+    #[test]
+    fn coverage_threshold_triggers_fallback_on_weak_rows() {
+        let (data, syn, mapping, model) = fallback_fixture();
+        // Node 4 attaches to train node 1, whose mapping mass is 0.5: the
+        // aM row is non-empty with coverage 0.5.
+        let batch = data.batch(&[4], false);
+
+        let lenient = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_fallback(FallbackPolicy::Reject)
+            .with_coverage_threshold(0.4);
+        assert!(lenient.try_serve(&batch).is_ok(), "coverage 0.5 passes a 0.4 bar");
+
+        let strict = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_fallback(FallbackPolicy::Reject)
+            .with_coverage_threshold(0.9);
+        match strict.try_serve(&batch) {
+            Err(ServeError::NoAttachment { node: 0, coverage }) => {
+                assert!(approx_eq(coverage, 0.5, 1e-5), "coverage {coverage}");
+            }
+            other => panic!("expected NoAttachment, got {other:?}"),
+        }
+
+        // SelfLoopOnly under the same bar prunes the attachment: the node
+        // serves as if it had no synthetic neighbours at all.
+        let pruned = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_coverage_threshold(0.9)
+            .try_serve(&batch)
+            .expect("self-loop fallback serves");
+        let isolated = {
+            let mut b = batch.clone();
+            b.incremental = Csr::empty(1, 3);
+            InductiveServer::on_synthetic(&syn, &mapping, &model)
+                .try_serve(&b)
+                .expect("isolated serve")
+        };
+        assert_eq!(pruned.as_slice(), isolated.as_slice());
     }
 }

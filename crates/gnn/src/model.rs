@@ -197,6 +197,16 @@ impl GnnModel {
         self.kind
     }
 
+    /// Number of output classes `C` (the logit width).
+    ///
+    /// Every architecture's parameter list ends with the output bias
+    /// (`1 x C`), so this is layout-independent. Serving layers use it to
+    /// shape `0 x C` responses for empty batches without a forward pass.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.params.last().map_or(0, DMat::cols)
+    }
+
     /// Mutable access to the parameters (for the optimizer), in the same
     /// order as [`GnnModel::tape_params`].
     pub fn params_mut(&mut self) -> &mut [DMat] {
@@ -366,6 +376,14 @@ mod tests {
             let out = model.predict(&ops, &x);
             assert_eq!(out.shape(), (6, 3), "{}", kind.name());
             assert!(out.as_slice().iter().all(|v| v.is_finite()), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn out_dim_reports_class_count_for_every_architecture() {
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 4, 8, 3, 7);
+            assert_eq!(model.out_dim(), 3, "{}", kind.name());
         }
     }
 

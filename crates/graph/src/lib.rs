@@ -23,10 +23,12 @@ mod inductive;
 mod io;
 mod sbm;
 mod specs;
+mod validate;
 
 pub use graph::{Graph, GraphStats};
 pub use import::import_graph;
 pub use inductive::{InductiveDataset, NodeBatch};
+pub use validate::BatchError;
 pub use io::{load_graph, save_graph};
 pub use sbm::{generate_sbm, SbmConfig};
 pub use specs::{dataset_spec, load_dataset, DatasetSpec, Scale, DATASET_NAMES};

@@ -128,6 +128,16 @@ impl DMat {
                 .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
+    /// `true` when every entry is finite (no `NaN`, no `±Inf`).
+    ///
+    /// Subnormal values are finite and pass. This is the input-hygiene
+    /// check the serving layer runs on request features: one non-finite
+    /// entry would otherwise spread through every downstream matmul.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
     /// Mutable view of the flat row-major buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
@@ -320,6 +330,23 @@ mod tests {
         assert_eq!(s.shape(), (2, 1));
         assert_eq!(s.get(0, 0), 2.0);
         assert_eq!(s.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn all_finite_detects_every_non_finite_class() {
+        let mut m = DMat::from_rows(&[&[1.0, -2.5], &[0.0, -0.0]]);
+        assert!(m.all_finite());
+        // Subnormals are finite.
+        m.set(0, 0, f32::MIN_POSITIVE / 2.0);
+        assert!(m.get(0, 0) != 0.0 && m.get(0, 0).is_subnormal());
+        assert!(m.all_finite());
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut poisoned = m.clone();
+            poisoned.set(1, 1, bad);
+            assert!(!poisoned.all_finite(), "{bad} accepted");
+        }
+        // Empty matrices are vacuously finite.
+        assert!(DMat::zeros(0, 3).all_finite());
     }
 
     #[test]

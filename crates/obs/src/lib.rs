@@ -26,6 +26,27 @@
 //! sink every probe is one relaxed atomic load — the hot kernels rely on
 //! this being free.
 //!
+//! # Well-known metric names
+//!
+//! The serving layer (`mcond-core`'s `InductiveServer`) both keeps
+//! per-server statistics and mirrors its failure tallies into the global
+//! registry under stable names:
+//!
+//! * `serve.requests` — answered requests (per-server snapshot only);
+//! * `serve.rejected` — requests refused with a typed `ServeError`
+//!   (validation failure, batch cap, `Reject` fallback, non-finite
+//!   logits);
+//! * `serve.fallback` — *nodes* (not requests) whose empty or
+//!   under-covered attachment row triggered the server's fallback policy;
+//! * `serve.panic` — requests whose internal panic was caught at the
+//!   `try_serve_many` request boundary.
+//!
+//! Per-server snapshots additionally carry the `serve.latency_us`,
+//! `serve.fanout`, `serve.batch_size`, and `serve.coverage` histograms
+//! (coverage: fraction of each node's incremental mass surviving the
+//! sparsified mapping). The parallel pool contributes `par.pool.tasks`
+//! and `par.pool.threads`.
+//!
 //! # Example
 //! ```
 //! let _capture = mcond_obs::testing::capture();

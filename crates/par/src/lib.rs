@@ -37,6 +37,20 @@
 //! `InductiveServer::serve_many` wants — outer requests parallel, inner
 //! kernels serial per worker.
 //!
+//! # Panic isolation
+//!
+//! A panic inside one task does not tear down the pool and does not stop
+//! its siblings: every task runs behind `catch_unwind`, the remaining
+//! tasks of the submission run to completion (their writes land), the
+//! workers survive, and the *first* captured payload is re-raised on the
+//! submitting thread only after the whole submission has settled. Callers
+//! that want per-task error values instead of a re-raised panic wrap their
+//! task body in `catch_unwind` themselves — since nested regions run
+//! serially inline, such a wrapper catches everything the task does and
+//! the pool never observes the panic at all. That is how
+//! `InductiveServer::try_serve_many` turns a panicking request into
+//! `Err(ServeError::Panicked)` while sibling requests complete normally.
+//!
 //! # Observability
 //!
 //! Each parallel submission bumps the `par.pool.tasks` counter by its task

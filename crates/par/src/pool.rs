@@ -565,6 +565,51 @@ mod tests {
         assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
+    /// The panic-isolation contract (see the crate docs): when one chunk
+    /// panics, every sibling chunk still runs and its writes land before
+    /// the payload is re-raised on the submitter — and a task that catches
+    /// its own panic hides it from the pool entirely.
+    #[test]
+    fn sibling_chunks_complete_their_writes_when_one_panics() {
+        let done: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || {
+                parallel_for_chunks(32, 1, |range| {
+                    assert!(!range.contains(&20), "boom at 20");
+                    for i in range {
+                        done[i].store(1, Ordering::Relaxed);
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err());
+        // Exactly the panicked chunk's writes are missing.
+        let boom = chunk_ranges(32, 1, 4)
+            .into_iter()
+            .find(|r| r.contains(&20))
+            .expect("some chunk covers index 20");
+        for (i, d) in done.iter().enumerate() {
+            let expect = usize::from(!boom.contains(&i));
+            assert_eq!(d.load(Ordering::Relaxed), expect, "index {i}");
+        }
+
+        // A task-level catch_unwind keeps the panic away from the pool:
+        // the submission returns normally with every slot filled.
+        let outcomes: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        with_thread_limit(4, || {
+            parallel_for_chunks(32, 1, |range| {
+                for i in range.clone() {
+                    let r = std::panic::catch_unwind(|| assert!(i != 20, "boom at 20"));
+                    outcomes[i].store(if r.is_ok() { 1 } else { 2 }, Ordering::Relaxed);
+                }
+            });
+        });
+        for (i, o) in outcomes.iter().enumerate() {
+            let expect = if i == 20 { 2 } else { 1 };
+            assert_eq!(o.load(Ordering::Relaxed), expect, "slot {i}");
+        }
+    }
+
     #[test]
     fn with_thread_limit_restores_on_exit() {
         let before = max_threads();

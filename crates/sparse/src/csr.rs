@@ -140,6 +140,16 @@ impl Csr {
             && self.vals.len() == other.vals.len()
     }
 
+    /// `true` when every stored value is finite (no `NaN`, no `±Inf`).
+    ///
+    /// Structure is irrelevant here — only values can be non-finite — and
+    /// subnormal values pass. The serving layer uses this to reject
+    /// poisoned incremental/interconnect blocks before they reach a kernel.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.vals.iter().all(|v| v.is_finite())
+    }
+
     /// Iterator over `(row, col, value)` of all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |i| {
@@ -534,6 +544,52 @@ mod tests {
     #[should_panic(expected = "column out of range")]
     fn from_raw_rejects_out_of_range_column() {
         let _ = Csr::from_raw(1, 2, vec![0, 1], vec![2], vec![1.0]);
+    }
+
+    #[test]
+    fn all_finite_checks_values_only() {
+        let m = small();
+        assert!(m.all_finite());
+        assert!(Csr::empty(3, 3).all_finite());
+        // Subnormal values are finite.
+        let tiny = m.map_values(|_| f32::MIN_POSITIVE / 4.0);
+        assert!(tiny.row_vals(0)[0].is_subnormal() && tiny.all_finite());
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let poisoned = m.map_values(|v| if v == 3.0 { bad } else { v });
+            assert!(!poisoned.all_finite(), "{bad} accepted");
+        }
+    }
+
+    // `block_extend` feeds the extended adjacency straight into message
+    // passing, so a shape mismatch must fail loudly here (documented
+    // asserts) rather than produce a silently wrong extended graph. These
+    // pin the exact failure for each block.
+
+    #[test]
+    #[should_panic(expected = "base must be square")]
+    fn block_extend_rejects_rectangular_base() {
+        let base = Csr::empty(2, 3);
+        let _ = base.block_extend(&Csr::empty(1, 2), &Csr::empty(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "incremental column count")]
+    fn block_extend_rejects_wrong_incremental_width() {
+        // Incremental block indexes a 5-node base, but the base has 2.
+        let _ = Csr::eye(2).block_extend(&Csr::empty(1, 5), &Csr::empty(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "corner row count")]
+    fn block_extend_rejects_interconnect_row_mismatch() {
+        // 1 new node but a 2-row interconnect.
+        let _ = Csr::eye(2).block_extend(&Csr::empty(1, 2), &Csr::empty(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "corner must be square")]
+    fn block_extend_rejects_rectangular_interconnect() {
+        let _ = Csr::eye(2).block_extend(&Csr::empty(1, 2), &Csr::empty(1, 3));
     }
 
     /// Deterministic pseudo-random graph big enough to clear the parallel

@@ -10,8 +10,15 @@ use mcond_linalg::DMat;
 
 /// Symmetric GCN normalisation with self-loops: `D̃^{-1/2} (A + I) D̃^{-1/2}`.
 ///
-/// Isolated nodes (zero degree even after the self-loop would be impossible,
-/// but defensively) get zero rows rather than NaNs.
+/// For a binary adjacency the self-loop makes every `D̃` entry ≥ 1, but
+/// weighted inputs do reach this function with non-positive degrees: the
+/// learned synthetic `A'` can carry negative weights that cancel the
+/// self-loop, and extended blocks built from an all-pruned mapping row
+/// (preserved empty by [`renormalize_rows`]) contribute zero mass. Such
+/// rows get `inv_sqrt = 0` — a zero row, meaning the node neither sends
+/// nor receives messages — because the alternative (`1/sqrt(d)` with
+/// `d <= 0`) would inject NaN/Inf into every downstream logit, which the
+/// serving layer explicitly forbids.
 ///
 /// # Panics
 /// Panics when `adj` is not square.

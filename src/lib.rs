@@ -70,13 +70,15 @@ pub mod prelude {
     pub use mcond_autodiff::{Adam, Tape, Var};
     pub use mcond_core::{
         attach_to_original, attach_to_synthetic, condense, coreset, infer_inductive, vng,
-        Checkpoint, Condensed, CoresetMethod, InductiveServer, InferenceTarget, McondConfig,
+        Checkpoint, Condensed, CoresetMethod, FallbackPolicy, InductiveServer, InferenceTarget,
+        McondConfig, ServeError,
     };
     pub use mcond_gnn::{
         accuracy, train, CostMeter, GnnKind, GnnModel, GraphOps, TrainConfig,
     };
     pub use mcond_graph::{
-        generate_sbm, load_dataset, Graph, InductiveDataset, NodeBatch, SbmConfig, Scale,
+        generate_sbm, load_dataset, BatchError, Graph, InductiveDataset, NodeBatch, SbmConfig,
+        Scale,
     };
     pub use mcond_linalg::{DMat, MatRng};
     pub use mcond_propagate::{error_propagation, label_propagation, PropagationConfig};
