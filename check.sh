@@ -11,7 +11,9 @@ for cmd in \
     "cargo test --workspace" \
     "cargo bench --workspace --no-run" \
     "cargo run --release --example checkpointing" \
-    "cargo run --release --example robust_serving"
+    "cargo run --release --example robust_serving" \
+    "cargo run --release --example inference_acceleration" \
+    "cargo bench -p mcond-bench --bench serve_fastpath"
 do
     if ! grep -q "run: $cmd\$" "$WORKFLOW"; then
         echo "DRIFT: $WORKFLOW is missing the tier-1 step: $cmd" >&2
@@ -38,4 +40,10 @@ cargo run --release --example checkpointing
 # Chaos sweep: every corrupted batch gets a typed ServeError on both
 # serving modes at 1 and 4 threads; valid siblings stay bitwise identical.
 cargo run --release --example robust_serving
+# Headline speedup demo; asserts the split-operator fast path is bitwise
+# identical to the extended reference before reporting numbers.
+cargo run --release --example inference_acceleration
+# Fast-path bench smoke (tiny sample budget): regenerates
+# results/BENCH_serve_fastpath.json and re-checks the bitwise guard.
+MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench serve_fastpath
 echo "all checks passed"

@@ -12,6 +12,26 @@
 //!
 //! Results are exactly equal to the materialised path (verified by test).
 //!
+//! # Serving fast path
+//!
+//! The default [`ServeMode::Exact`] runs the **split-operator** forward
+//! pass ([`GnnModel::predict_split`]): base features and the batch's
+//! features are fed as a `(x_base, x_new)` pair that is never vstacked,
+//! the batch's `inc`/`inter` blocks are borrowed in place (no clones), the
+//! base graph's degree sums are shared across requests
+//! ([`mcond_gnn::BaseDegrees`], computed once at construction), and the
+//! final propagation computes only the `n` inductive output rows. The
+//! logits are **bitwise identical** to the legacy vstack-and-slice path
+//! ([`ServeMode::Extended`], kept for equivalence testing) at any thread
+//! count; the per-request `O(N'·d)` base-feature memcpy is gone entirely
+//! (tracked by the `serve.bytes_saved` gauge).
+//!
+//! [`ServeMode::FrozenBase`] additionally caches per-layer base
+//! activations under base-only normalisation
+//! ([`mcond_gnn::FrozenBase`]) and serves a request in
+//! `O(L·(nnz(aM̂) + n·d))` — an opt-in, *documented approximation* (see
+//! `mcond_gnn::frozen`); the default stays exact.
+//!
 //! # Fault tolerance
 //!
 //! Requests are untrusted. [`try_serve`](InductiveServer::try_serve)
@@ -37,11 +57,12 @@
 //! [`serve`](InductiveServer::serve) loop.
 
 use crate::serve_error::{panic_context, ServeError};
-use mcond_gnn::{GnnModel, GraphOps};
+use mcond_gnn::{BaseDegrees, FrozenBase, GnnModel, GraphOps};
 use mcond_graph::{Graph, NodeBatch};
 use mcond_linalg::DMat;
 use mcond_obs::{Histogram, MetricsSnapshot};
 use mcond_sparse::{Coo, Csr};
+use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -49,6 +70,31 @@ use std::time::Instant;
 /// Default cap on nodes per request; far above any sane batch, low enough
 /// to reject a length field gone wild before it allocates.
 pub const DEFAULT_MAX_BATCH: usize = 1 << 20;
+
+/// Which forward pass answers requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Split-operator fast path (the default): zero per-request base-side
+    /// copies, final layer computes only the `n` inductive rows. Bitwise
+    /// identical to [`ServeMode::Extended`].
+    #[default]
+    Exact,
+    /// Legacy extended path: vstacks base and batch features, runs all
+    /// layers over all `N' + n` rows, slices the bottom block. Kept as the
+    /// reference the fast path is verified against.
+    Extended,
+    /// Frozen-base cache: per-layer base activations are cached under
+    /// base-only normalisation at
+    /// [`with_serve_mode`](InductiveServer::with_serve_mode) time and a
+    /// request costs `O(L·(nnz + n·d))`. **Approximate** — the cache
+    /// ignores the batch's back-edges into the base graph (exact for
+    /// batches with no incremental edges; see `mcond_gnn::frozen` for the
+    /// contract and the calibration test for measured deviation). Requests
+    /// degraded to the original graph by
+    /// [`FallbackPolicy::OriginalGraph`] are answered by the exact split
+    /// path — the fallback already trades latency for accuracy.
+    FrozenBase,
+}
 
 /// What to do with an inductive node whose attachment row (`a` row for
 /// Eq. 3 serving, `aM` row for Eq. 11) is empty, or whose mapping coverage
@@ -81,6 +127,20 @@ pub enum FallbackPolicy {
 struct OriginalBase<'a> {
     adj: Arc<Csr>,
     features: &'a DMat,
+    /// Degree sums of `adj`, shared across every degraded request.
+    deg: BaseDegrees,
+}
+
+/// What one answered request contributes to the serving statistics.
+struct RequestTally {
+    /// Attachment fanout `‖aM̂‖₀` (or `‖a‖₀` on Eq. 3 serving).
+    fanout: usize,
+    /// Nodes the fallback policy handled in this request.
+    fallback_nodes: u64,
+    /// Base-feature bytes the fast path avoided copying.
+    bytes_saved: u64,
+    /// Whether the frozen-base cache answered the request.
+    cache_hit: bool,
 }
 
 /// Per-instance serving statistics; kept on the server (not the global
@@ -92,6 +152,11 @@ struct ServeStats {
     rejected: u64,
     fallback: u64,
     panics: u64,
+    /// Base-feature bytes *not* copied per request by the split-operator
+    /// fast path (the `N'×d×4` vstack the legacy path pays), cumulative.
+    bytes_saved: u64,
+    /// Requests answered from the frozen-base cache.
+    cache_hits: u64,
     latency_us: Histogram,
     fanout: Histogram,
     batch_size: Histogram,
@@ -103,8 +168,16 @@ struct ServeStats {
 pub struct InductiveServer<'a> {
     base_adj: Arc<Csr>,
     base_features: &'a DMat,
+    /// Degree sums of `base_adj`, computed once and shared by every
+    /// request's extension (the per-layer base-degree terms of the fast
+    /// path).
+    base_deg: BaseDegrees,
     mapping: Option<&'a Csr>,
     model: &'a GnnModel,
+    serve_mode: ServeMode,
+    /// Per-layer base activations, present iff `serve_mode` is
+    /// [`ServeMode::FrozenBase`].
+    frozen: Option<FrozenBase>,
     fallback: FallbackPolicy,
     coverage_threshold: f32,
     max_batch: usize,
@@ -119,8 +192,11 @@ impl<'a> InductiveServer<'a> {
         Self {
             base_adj: Arc::new(graph.adj.clone()),
             base_features: &graph.features,
+            base_deg: BaseDegrees::of(&graph.adj),
             mapping: None,
             model,
+            serve_mode: ServeMode::default(),
+            frozen: None,
             fallback: FallbackPolicy::default(),
             coverage_threshold: 0.0,
             max_batch: DEFAULT_MAX_BATCH,
@@ -144,8 +220,11 @@ impl<'a> InductiveServer<'a> {
         Self {
             base_adj: Arc::new(graph.adj.clone()),
             base_features: &graph.features,
+            base_deg: BaseDegrees::of(&graph.adj),
             mapping: Some(mapping),
             model,
+            serve_mode: ServeMode::default(),
+            frozen: None,
             fallback: FallbackPolicy::default(),
             coverage_threshold: 0.0,
             max_batch: DEFAULT_MAX_BATCH,
@@ -159,6 +238,24 @@ impl<'a> InductiveServer<'a> {
     #[must_use]
     pub fn with_fallback(mut self, policy: FallbackPolicy) -> Self {
         self.fallback = policy;
+        self
+    }
+
+    /// Selects the forward pass answering requests (default
+    /// [`ServeMode::Exact`]). Switching to [`ServeMode::FrozenBase`] runs
+    /// the base-only forward pass once, right here, and caches every
+    /// propagation site's base activations (`serve.cache.builds` counter,
+    /// `serve.cache.bytes` gauge); any other mode drops the cache.
+    #[must_use]
+    pub fn with_serve_mode(mut self, mode: ServeMode) -> Self {
+        self.serve_mode = mode;
+        self.frozen = (mode == ServeMode::FrozenBase).then(|| {
+            let frozen = FrozenBase::new(self.model, &self.base_adj, self.base_features);
+            mcond_obs::counter_add("serve.cache.builds", 1);
+            #[allow(clippy::cast_precision_loss)]
+            mcond_obs::gauge_set("serve.cache.bytes", frozen.bytes() as f64);
+            frozen
+        });
         self
     }
 
@@ -203,6 +300,7 @@ impl<'a> InductiveServer<'a> {
         self.original = Some(OriginalBase {
             adj: Arc::new(graph.adj.clone()),
             features: &graph.features,
+            deg: BaseDegrees::of(&graph.adj),
         });
         self
     }
@@ -266,31 +364,47 @@ impl<'a> InductiveServer<'a> {
         if batch.is_empty() {
             // Fast path: no degree updates, no forward pass — just the
             // `0 x C` shape the caller expects.
-            self.record_request(batch, 0, &[], 0, start);
+            self.record_request(
+                batch,
+                &[],
+                RequestTally { fanout: 0, fallback_nodes: 0, bytes_saved: 0, cache_hit: false },
+                start,
+            );
             return Ok(DMat::zeros(0, self.model.out_dim()));
         }
 
-        // Attachment rows and per-node mapping coverage.
-        let (inc, coverage) = match self.mapping {
+        // Attachment rows and per-node mapping coverage. The batch's own
+        // incremental rows are borrowed — only the mapping conversion (and
+        // a firing `clear_rows` fallback) materialises a new matrix.
+        let (inc, coverage): (Cow<'_, Csr>, Vec<f32>) = match self.mapping {
             None => {
                 let cov: Vec<f32> = (0..batch.len())
                     .map(|i| if batch.incremental.row_cols(i).is_empty() { 0.0 } else { 1.0 })
                     .collect();
-                (batch.incremental.clone(), cov)
+                (Cow::Borrowed(&batch.incremental), cov)
             }
             Some(mapping) => {
                 let am = crate::inference::spmm_sparse(&batch.incremental, mapping);
+                // Coverage is the fraction of the node's *absolute*
+                // incremental mass surviving the mapping, clamped to
+                // [0, 1]: signed sums would zero out (and spuriously
+                // reject) nodes whose edge weights cancel, and could
+                // report > 1 into the coverage histogram.
                 let cov: Vec<f32> = (0..batch.len())
                     .map(|i| {
-                        let raw: f32 = batch.incremental.row_vals(i).iter().sum();
+                        let raw: f32 = batch.incremental.row_vals(i).iter().map(|v| v.abs()).sum();
                         if raw > 0.0 {
-                            am.row_vals(i).iter().sum::<f32>() / raw
+                            let kept: f32 = am.row_vals(i).iter().map(|v| v.abs()).sum();
+                            // + 0.0 normalises the -0.0 that `Sum`'s float
+                            // identity yields for an empty `aM` row, so
+                            // errors report "0.000", not "-0.000".
+                            (kept / raw).clamp(0.0, 1.0) + 0.0
                         } else {
                             0.0
                         }
                     })
                     .collect();
-                (am, cov)
+                (Cow::Owned(am), cov)
             }
         };
         let uncovered: Vec<usize> = (0..batch.len())
@@ -309,7 +423,7 @@ impl<'a> InductiveServer<'a> {
                 FallbackPolicy::SelfLoopOnly => {
                     fallback_nodes = uncovered.len() as u64;
                     if uncovered.iter().any(|&i| !inc.row_cols(i).is_empty()) {
-                        inc = clear_rows(&inc, &uncovered);
+                        inc = Cow::Owned(clear_rows(&inc, &uncovered));
                     }
                 }
                 FallbackPolicy::OriginalGraph => {
@@ -330,24 +444,58 @@ impl<'a> InductiveServer<'a> {
         }
 
         // Forward pass on the chosen base (synthetic, or the Eq. 3 target
-        // when the whole batch degraded to the original graph).
-        let (base_adj, base_features, inc) = if use_original {
-            let original = self.original.as_ref().expect("checked above");
-            (&original.adj, original.features, Arc::new(batch.incremental.clone()))
-        } else {
-            (&self.base_adj, self.base_features, Arc::new(inc))
-        };
-        let inter = Arc::new(batch.interconnect.clone());
+        // when the whole batch degraded to the original graph). All blocks
+        // are borrowed into the extension — nothing is cloned.
+        let (base_adj, base_features, base_deg, inc): (&Csr, &DMat, &BaseDegrees, &Csr) =
+            if use_original {
+                let original = self.original.as_ref().expect("checked above");
+                (&original.adj, original.features, &original.deg, &batch.incremental)
+            } else {
+                (&self.base_adj, self.base_features, &self.base_deg, inc.as_ref())
+            };
+        let inter = &batch.interconnect;
         let fanout = inc.nnz();
-        let ops = GraphOps::extended(base_adj, &inc, &inter);
-        let x = base_features.vstack(&batch.features);
-        let logits = self.model.predict(&ops, &x);
-        let out = logits.slice_rows(base_adj.rows(), logits.rows());
+        let mut bytes_saved = 0u64;
+        let mut cache_hit = false;
+        let out = match self.serve_mode {
+            ServeMode::Extended => {
+                let ops = GraphOps::extended_with(base_adj, inc, inter, base_deg);
+                let x = base_features.vstack(&batch.features);
+                let logits = self.model.predict(&ops, &x);
+                logits.slice_rows(base_adj.rows(), logits.rows())
+            }
+            ServeMode::Exact => {
+                bytes_saved = feature_bytes(base_features);
+                let ops = GraphOps::extended_with(base_adj, inc, inter, base_deg);
+                self.model.predict_split(&ops, base_features, &batch.features)
+            }
+            ServeMode::FrozenBase if !use_original => {
+                bytes_saved = feature_bytes(base_features);
+                cache_hit = true;
+                let frozen = self.frozen.as_ref().expect("cache built by with_serve_mode");
+                self.model.predict_frozen(frozen, inc, inter, &batch.features)
+            }
+            ServeMode::FrozenBase => {
+                // Degraded to the original graph: the cache covers the
+                // primary base only — answer exactly (split path).
+                bytes_saved = feature_bytes(base_features);
+                let ops = GraphOps::extended_with(base_adj, inc, inter, base_deg);
+                self.model.predict_split(&ops, base_features, &batch.features)
+            }
+        };
         if !out.all_finite() {
             return Err(ServeError::NonFiniteLogits);
         }
 
-        self.record_request(batch, fanout, &coverage, fallback_nodes, start);
+        if cache_hit {
+            mcond_obs::counter_add("serve.cache.hits", 1);
+        }
+        self.record_request(
+            batch,
+            &coverage,
+            RequestTally { fanout, fallback_nodes, bytes_saved, cache_hit },
+            start,
+        );
         Ok(out)
     }
 
@@ -356,20 +504,24 @@ impl<'a> InductiveServer<'a> {
     fn record_request(
         &self,
         batch: &NodeBatch,
-        fanout: usize,
         coverage: &[f32],
-        fallback_nodes: u64,
+        tally: RequestTally,
         start: Instant,
     ) {
         let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         {
             let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
             stats.requests += 1;
-            stats.fallback += fallback_nodes;
+            stats.fallback += tally.fallback_nodes;
+            stats.bytes_saved += tally.bytes_saved;
+            stats.cache_hits += u64::from(tally.cache_hit);
             #[allow(clippy::cast_precision_loss)]
             {
+                if tally.bytes_saved > 0 {
+                    mcond_obs::gauge_set("serve.bytes_saved", stats.bytes_saved as f64);
+                }
                 stats.latency_us.record(latency_us as f64);
-                stats.fanout.record(fanout as f64);
+                stats.fanout.record(tally.fanout as f64);
                 stats.batch_size.record(batch.len() as f64);
                 for &c in coverage {
                     stats.coverage.record(f64::from(c));
@@ -381,8 +533,8 @@ impl<'a> InductiveServer<'a> {
                 "serve.request",
                 &[
                     ("batch", batch.len().into()),
-                    ("fanout", fanout.into()),
-                    ("fallback", fallback_nodes.into()),
+                    ("fanout", tally.fanout.into()),
+                    ("fallback", tally.fallback_nodes.into()),
                     ("latency_us", latency_us.into()),
                 ],
             );
@@ -465,19 +617,23 @@ impl<'a> InductiveServer<'a> {
     }
 
     /// Freezes this server's request statistics (latency, attachment
-    /// fanout `‖aM̂‖₀`, batch sizes, per-node mapping coverage, and the
-    /// rejected/fallback/panic tallies) into a snapshot for reports.
+    /// fanout `‖aM̂‖₀`, batch sizes, per-node mapping coverage, the
+    /// rejected/fallback/panic tallies, cache hits, and the cumulative
+    /// base-feature bytes the fast path avoided copying) into a snapshot
+    /// for reports.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        #[allow(clippy::cast_precision_loss)]
         MetricsSnapshot {
             counters: vec![
                 ("serve.requests".to_owned(), stats.requests),
                 ("serve.rejected".to_owned(), stats.rejected),
                 ("serve.fallback".to_owned(), stats.fallback),
                 ("serve.panic".to_owned(), stats.panics),
+                ("serve.cache.hits".to_owned(), stats.cache_hits),
             ],
-            gauges: Vec::new(),
+            gauges: vec![("serve.bytes_saved".to_owned(), stats.bytes_saved as f64)],
             histograms: vec![
                 ("serve.latency_us".to_owned(), stats.latency_us.summary()),
                 ("serve.fanout".to_owned(), stats.fanout.summary()),
@@ -486,6 +642,12 @@ impl<'a> InductiveServer<'a> {
             ],
         }
     }
+}
+
+/// Size in bytes of a dense feature matrix — the per-request copy the
+/// split path avoids.
+fn feature_bytes(x: &DMat) -> u64 {
+    (x.rows() * x.cols() * core::mem::size_of::<f32>()) as u64
 }
 
 /// A copy of `m` with the given rows structurally emptied — the

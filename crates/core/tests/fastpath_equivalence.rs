@@ -1,0 +1,317 @@
+//! Split-operator serving fast path: equivalence, probes, and calibration
+//! (DESIGN.md §4g).
+//!
+//! The sweep asserts the tentpole contract: [`ServeMode::Exact`] logits
+//! are **bitwise identical** to the legacy [`ServeMode::Extended`] path
+//! for every architecture, at 1 and 4 threads, under every fallback
+//! policy — while copying zero base-feature bytes per request (the
+//! `serve.bytes_saved` probe). The chaos catalogue passes through the
+//! fast path with the same typed-error taxonomy, and the opt-in
+//! [`ServeMode::FrozenBase`] cache is calibrated against the exact path.
+
+use mcond_core::chaos::corrupted_batches;
+use mcond_core::{FallbackPolicy, InductiveServer, ServeError, ServeMode};
+use mcond_gnn::{GnnKind, GnnModel};
+use mcond_graph::{Graph, InductiveDataset};
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{Coo, Csr};
+
+/// 6-node toy split: train {0,1,2} triangle, val {3}, test {4,5}; 3-dim
+/// features; plus a 2-node synthetic graph whose mapping covers train
+/// nodes {0,1} with half mass and train node 2 fully (so batch coverage
+/// varies node to node).
+fn fixture() -> (InductiveDataset, Graph, Csr) {
+    let mut coo = Coo::new(6, 6);
+    for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 0), (4, 1), (5, 2), (4, 5)] {
+        coo.push_sym(i, j, 1.0);
+    }
+    let features = MatRng::seed_from(7).normal(6, 3, 0.0, 1.0);
+    let g = Graph::new(coo.to_csr(), features, vec![0, 1, 0, 1, 0, 1], 2);
+    let data = InductiveDataset::new(g, vec![0, 1, 2], vec![3], vec![4, 5]);
+
+    let syn = Graph::new(
+        Csr::eye(2),
+        DMat::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]),
+        vec![0, 1],
+        2,
+    );
+    let mut map = Coo::new(3, 2);
+    map.push(0, 0, 0.5);
+    map.push(1, 0, 0.5);
+    map.push(2, 1, 1.0);
+    (data, syn, map.to_csr())
+}
+
+/// A mapping with train node 2 fully pruned: batch node 5 (attached only
+/// to train 2) gets an empty `aM` row, exercising the fallback branches.
+fn pruned_mapping() -> Csr {
+    let mut map = Coo::new(3, 2);
+    map.push(0, 0, 0.5);
+    map.push(1, 0, 0.5);
+    map.to_csr()
+}
+
+fn counter(server: &InductiveServer<'_>, name: &str) -> u64 {
+    server.metrics_snapshot().counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
+}
+
+fn bytes_saved(server: &InductiveServer<'_>) -> f64 {
+    server
+        .metrics_snapshot()
+        .gauges
+        .iter()
+        .find(|(k, _)| k == "serve.bytes_saved")
+        .map_or(0.0, |(_, v)| *v)
+}
+
+/// The tentpole sweep: every architecture × thread count × fallback
+/// policy, on both serving modes, with a coverage threshold that forces
+/// some nodes through the fallback — Exact and Extended must agree
+/// bitwise on every Ok result and on every typed error.
+#[test]
+fn exact_path_is_bitwise_identical_to_extended_everywhere() {
+    let (data, syn, _) = fixture();
+    let mapping = pruned_mapping();
+    let original = data.original_graph();
+    let batches =
+        [data.batch(&[4, 5], true), data.batch(&[4], false), data.batch(&[5], true)];
+    let policies =
+        [FallbackPolicy::Reject, FallbackPolicy::SelfLoopOnly, FallbackPolicy::OriginalGraph];
+
+    for kind in GnnKind::ALL {
+        let model = GnnModel::new(kind, 3, 4, 2, 1);
+        for threads in [1usize, 4] {
+            mcond_par::with_thread_limit(threads, || {
+                for policy in policies {
+                    // Synthetic (Eq. 11) serving, fallback armed with the
+                    // original graph so `OriginalGraph` can degrade.
+                    let exact = InductiveServer::on_synthetic(&syn, &mapping, &model)
+                        .with_fallback(policy)
+                        .with_original_graph(&original);
+                    let legacy = InductiveServer::on_synthetic(&syn, &mapping, &model)
+                        .with_fallback(policy)
+                        .with_original_graph(&original)
+                        .with_serve_mode(ServeMode::Extended);
+                    for (bi, batch) in batches.iter().enumerate() {
+                        let a = exact.try_serve(batch);
+                        let b = legacy.try_serve(batch);
+                        match (&a, &b) {
+                            (Ok(x), Ok(y)) => assert_eq!(
+                                x.as_slice(),
+                                y.as_slice(),
+                                "{} t{threads} {policy:?} batch {bi}: logits drifted",
+                                kind.name()
+                            ),
+                            (Err(x), Err(y)) => assert_eq!(x, y),
+                            _ => panic!(
+                                "{} t{threads} {policy:?} batch {bi}: Ok/Err disagreement",
+                                kind.name()
+                            ),
+                        }
+                    }
+
+                    // Original-graph (Eq. 3) serving.
+                    let exact = InductiveServer::on_original(&original, &model)
+                        .with_fallback(policy);
+                    let legacy = InductiveServer::on_original(&original, &model)
+                        .with_fallback(policy)
+                        .with_serve_mode(ServeMode::Extended);
+                    for (bi, batch) in batches.iter().enumerate() {
+                        let a = exact.try_serve(batch);
+                        let b = legacy.try_serve(batch);
+                        match (&a, &b) {
+                            (Ok(x), Ok(y)) => assert_eq!(
+                                x.as_slice(),
+                                y.as_slice(),
+                                "{} t{threads} {policy:?} original batch {bi}",
+                                kind.name()
+                            ),
+                            (Err(x), Err(y)) => assert_eq!(x, y),
+                            _ => panic!("{} t{threads} {policy:?}: disagreement", kind.name()),
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// The zero-copy probe: every fast-path request books exactly the
+/// `N'×d×4` base-feature bytes the legacy vstack would have copied; the
+/// legacy path books none.
+#[test]
+fn bytes_saved_probe_counts_the_avoided_base_copies() {
+    let (data, syn, mapping) = fixture();
+    let model = GnnModel::new(GnnKind::Gcn, 3, 4, 2, 1);
+    let batch = data.batch(&[4, 5], false);
+    let per_request = (syn.features.rows() * syn.features.cols() * 4) as f64;
+
+    let fast = InductiveServer::on_synthetic(&syn, &mapping, &model);
+    for _ in 0..3 {
+        let _ = fast.serve(&batch);
+    }
+    assert_eq!(bytes_saved(&fast), 3.0 * per_request);
+
+    // Empty batches never reach the forward pass — nothing to save.
+    let _ = fast.serve(&data.batch(&[], false));
+    assert_eq!(bytes_saved(&fast), 3.0 * per_request);
+    assert_eq!(counter(&fast, "serve.requests"), 4);
+
+    let legacy = InductiveServer::on_synthetic(&syn, &mapping, &model)
+        .with_serve_mode(ServeMode::Extended);
+    let _ = legacy.serve(&batch);
+    assert_eq!(bytes_saved(&legacy), 0.0);
+}
+
+/// The chaos catalogue passes through the fast path (and the frozen-base
+/// cache) with the same typed-error taxonomy — no panic escapes, and the
+/// donor keeps serving bitwise-stable finite logits afterwards.
+#[test]
+fn chaos_catalogue_passes_through_the_fast_path() {
+    let (data, syn, mapping) = fixture();
+    let model = GnnModel::new(GnnKind::Gcn, 3, 4, 2, 1);
+    let donor = data.batch(&[4, 5], true);
+    let cases = corrupted_batches(&donor);
+    assert!(cases.len() >= 10);
+
+    let servers = [
+        ("exact", InductiveServer::on_synthetic(&syn, &mapping, &model)),
+        (
+            "frozen",
+            InductiveServer::on_synthetic(&syn, &mapping, &model)
+                .with_serve_mode(ServeMode::FrozenBase),
+        ),
+    ];
+    for (mode, server) in &servers {
+        let good = server.try_serve(&donor).expect("donor batch is valid");
+        assert!(good.all_finite(), "{mode}: donor logits must be finite");
+        for case in corrupted_batches(&donor) {
+            match server.try_serve(&case.batch) {
+                Err(ServeError::InvalidBatch(_)) => {}
+                Err(other) => panic!("{mode}/{}: unexpected error {other:?}", case.name),
+                Ok(_) => panic!("{mode}/{}: corrupted batch was served", case.name),
+            }
+        }
+        let again = server.try_serve(&donor).expect("server survives the sweep");
+        assert_eq!(again.as_slice(), good.as_slice());
+        assert_eq!(counter(server, "serve.panic"), 0, "{mode}");
+        assert_eq!(counter(server, "serve.rejected"), cases.len() as u64, "{mode}");
+    }
+}
+
+/// Calibration of the opt-in frozen-base cache: a batch with no
+/// incremental edges is served exactly; connected batches deviate by a
+/// bounded, finite amount for every architecture, and the cache probes
+/// record the hits.
+#[test]
+fn frozen_base_calibration_against_the_exact_path() {
+    let (data, syn, mapping) = fixture();
+    let connected = data.batch(&[4, 5], false);
+    let disconnected = {
+        let mut b = connected.clone();
+        b.incremental = Csr::empty(2, 3);
+        b
+    };
+
+    for kind in GnnKind::ALL {
+        let model = GnnModel::new(kind, 3, 4, 2, 1);
+        let exact = InductiveServer::on_synthetic(&syn, &mapping, &model);
+        let frozen = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_serve_mode(ServeMode::FrozenBase);
+
+        // Exact on disconnected batches (no base perturbation to ignore).
+        let e = exact.serve(&disconnected);
+        let f = frozen.serve(&disconnected);
+        for (a, b) in e.as_slice().iter().zip(f.as_slice()) {
+            assert!(
+                mcond_linalg::approx_eq(*a, *b, 1e-5),
+                "{}: disconnected batch must serve exactly ({a} vs {b})",
+                kind.name()
+            );
+        }
+
+        // Bounded deviation on connected batches.
+        let e = exact.serve(&connected);
+        let f = frozen.serve(&connected);
+        assert_eq!(e.shape(), f.shape());
+        assert!(f.all_finite(), "{}", kind.name());
+        let dev = e
+            .as_slice()
+            .iter()
+            .zip(f.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(dev < 1.0, "{}: frozen-base deviation {dev} out of bounds", kind.name());
+
+        assert_eq!(counter(&frozen, "serve.cache.hits"), 2, "{}", kind.name());
+        assert_eq!(counter(&exact, "serve.cache.hits"), 0, "{}", kind.name());
+    }
+}
+
+/// Regression for the coverage-accounting bugfix: negative edge weights
+/// must not zero out coverage (spurious rejection), and coverage must
+/// never exceed 1 even when signed sums would inflate it.
+#[test]
+fn coverage_uses_absolute_mass_and_clamps_to_one() {
+    let (data, syn, mapping) = fixture();
+    let model = GnnModel::new(GnnKind::Gcn, 3, 4, 2, 1);
+    let donor = data.batch(&[4], false);
+
+    // Node with weights {+0.5 → train 0, -1.0 → train 1}: both map onto
+    // synthetic node 0 with mass 0.5, so the aM entry is 0.25 - 0.5 =
+    // -0.25 and the old *signed* sum (-0.5 raw) forced coverage to 0.0 —
+    // a spurious rejection under any positive threshold. Absolute mass
+    // gives |−0.25| / 1.5 = 1/6.
+    let negative = {
+        let mut b = donor.clone();
+        let mut inc = Coo::new(1, 3);
+        inc.push(0, 0, 0.5);
+        inc.push(0, 1, -1.0);
+        b.incremental = inc.to_csr();
+        b
+    };
+    let strict = InductiveServer::on_synthetic(&syn, &mapping, &model)
+        .with_fallback(FallbackPolicy::Reject)
+        .with_coverage_threshold(0.1);
+    let served = strict.try_serve(&negative);
+    assert!(
+        served.is_ok(),
+        "negative weights must not be spuriously rejected: {served:?}"
+    );
+    let cov = strict
+        .metrics_snapshot()
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "serve.coverage")
+        .expect("coverage histogram")
+        .1;
+    assert!((cov.max - 1.0 / 6.0).abs() < 1e-5, "coverage {0} != 1/6", cov.max);
+
+    // A super-stochastic mapping row (mass 2.0) would report coverage 2.0
+    // without the clamp — the histogram must stay inside [0, 1].
+    let heavy = {
+        let mut m = Coo::new(3, 2);
+        m.push(0, 0, 2.0);
+        m.push(1, 0, 0.5);
+        m.push(2, 1, 1.0);
+        m.to_csr()
+    };
+    let inflated = {
+        let mut b = donor.clone();
+        let mut inc = Coo::new(1, 3);
+        inc.push(0, 0, 1.0);
+        b.incremental = inc.to_csr();
+        b
+    };
+    let server = InductiveServer::on_synthetic(&syn, &heavy, &model);
+    let _ = server.serve(&inflated);
+    let cov = server
+        .metrics_snapshot()
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "serve.coverage")
+        .expect("coverage histogram")
+        .1;
+    assert!((cov.max - 1.0).abs() < 1e-6, "coverage must clamp to 1, got {}", cov.max);
+    assert!(cov.min > 0.0, "abs-mass coverage of a non-empty row is positive");
+}

@@ -1,0 +1,372 @@
+//! Frozen-base serving cache: the `ServeMode::FrozenBase` approximation.
+//!
+//! The exact extended-operator forward pass must re-propagate over all
+//! `N' + n` rows because attaching a batch perturbs base-side degrees and
+//! base activations feed the new rows at every layer. [`FrozenBase`]
+//! trades that exactness for speed: it runs the forward pass **once over
+//! the base graph alone** (base-only normalisation, no batch attached) and
+//! caches, for every propagation site of the architecture, the base-side
+//! operand that site would multiply by the bottom-left `inc` block —
+//! pre-scaled by the frozen base normalisation for symmetric sites.
+//!
+//! A request is then served in `O(L·(nnz(inc) + nnz(inter) + n·d))`:
+//! each site computes only its `n` new rows as
+//!
+//! ```text
+//! sym:  s_n ∘ ( inc·(s_b ∘ H_b)  +  inter·(s_n ∘ H_n)  +  s_n ∘ H_n )
+//! mean: r_n ∘ ( inc·H_b          +  inter·H_n )
+//! ```
+//!
+//! where `s_b ∘ H_b` / `H_b` is the cached operand and `s_n`/`r_n` are the
+//! request's own degree scales (computed exactly from `inc`/`inter` row
+//! mass). The **approximation** is entirely base-side: cached `H_b` ignores
+//! the batch's back-edges into the base graph, and `s_b` is the base-only
+//! scale `1/sqrt(1 + base mass)` rather than the batch-perturbed one. For
+//! a batch with *no* incremental edges the two coincide and the frozen
+//! path reproduces the exact logits; deviation grows with the batch's
+//! relative edge mass (quantified by the calibration test in
+//! `mcond-core`). The exact split path stays the default — this cache is
+//! opt-in.
+
+use crate::model::{GnnKind, GnnModel, GraphOps};
+use crate::propagator::BaseDegrees;
+use mcond_linalg::DMat;
+use mcond_sparse::Csr;
+
+/// Per-layer base activations frozen under base-only normalisation.
+///
+/// Built once per `(model, base graph)` pair via [`FrozenBase::new`];
+/// served via [`GnnModel::predict_frozen`]. Immutable and `Sync` — one
+/// cache can serve concurrent requests.
+pub struct FrozenBase {
+    kind: GnnKind,
+    hops: usize,
+    n_base: usize,
+    in_dim: usize,
+    /// Cached base-side operands, one per propagation site in forward
+    /// order. Symmetric sites are pre-scaled by the frozen base scale.
+    sites: Vec<DMat>,
+}
+
+impl FrozenBase {
+    /// Runs the base-only forward pass of `model` over `(base_adj,
+    /// base_x)` and caches every propagation site's base operand.
+    ///
+    /// # Panics
+    /// Panics on inconsistent shapes (`base_adj` not square or feature
+    /// rows not matching it).
+    #[must_use]
+    pub fn new(model: &GnnModel, base_adj: &Csr, base_x: &DMat) -> Self {
+        assert_eq!(base_adj.rows(), base_adj.cols(), "FrozenBase: base must be square");
+        assert_eq!(base_x.rows(), base_adj.rows(), "FrozenBase: feature rows mismatch");
+        let ops = GraphOps::from_adj(base_adj);
+        // Frozen symmetric scale: 1/sqrt(1 + base row mass) — identical to
+        // what sym_normalize bakes into the base-only kernel.
+        let sb: Vec<f32> = BaseDegrees::of(base_adj)
+            .sym
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let p = model.params();
+        let mut sites = Vec::new();
+        match model.kind() {
+            GnnKind::Sgc => {
+                let mut h = base_x.clone();
+                for _ in 0..model.hops {
+                    sites.push(h.scale_rows(&sb));
+                    h = ops.sym.spmm(&h);
+                }
+            }
+            GnnKind::Gcn => {
+                let xw = base_x.matmul(&p[0]);
+                sites.push(xw.scale_rows(&sb));
+                let h = ops.sym.spmm(&xw).add_row_broadcast(p[1].row(0)).relu();
+                sites.push(h.matmul(&p[2]).scale_rows(&sb));
+            }
+            GnnKind::Sage => {
+                sites.push(base_x.clone());
+                let h = base_x
+                    .matmul(&p[0])
+                    .add(&ops.mean.spmm(base_x).matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                sites.push(h);
+            }
+            GnnKind::Appnp => {
+                let h0 = base_x
+                    .matmul(&p[0])
+                    .add_row_broadcast(p[1].row(0))
+                    .relu()
+                    .matmul(&p[2])
+                    .add_row_broadcast(p[3].row(0));
+                let teleport = h0.scale(model.alpha);
+                let mut z = h0;
+                for _ in 0..model.hops {
+                    sites.push(z.scale_rows(&sb));
+                    z = ops.sym.spmm(&z).scale(1.0 - model.alpha).add(&teleport);
+                }
+            }
+            GnnKind::Cheby => {
+                sites.push(base_x.scale_rows(&sb));
+                let t1x = ops.sym.spmm(base_x).scale(-1.0);
+                let h = base_x
+                    .matmul(&p[0])
+                    .add(&t1x.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                sites.push(h.scale_rows(&sb));
+            }
+        }
+        Self {
+            kind: model.kind(),
+            hops: model.hops,
+            n_base: base_adj.rows(),
+            in_dim: base_x.cols(),
+            sites,
+        }
+    }
+
+    /// Architecture the cache was frozen for.
+    #[must_use]
+    pub fn kind(&self) -> GnnKind {
+        self.kind
+    }
+
+    /// Number of cached propagation sites (layers touching the graph).
+    #[must_use]
+    pub fn sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of base nodes the cache covers.
+    #[must_use]
+    pub fn n_base(&self) -> usize {
+        self.n_base
+    }
+
+    /// Payload size of the cached activations, in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.sites.iter().map(|s| s.rows() * s.cols() * core::mem::size_of::<f32>()).sum()
+    }
+}
+
+/// New-row output of one frozen **symmetric** site:
+/// `s_n ∘ (inc·cached + inter·(s_n ∘ v) + s_n ∘ v)`.
+fn site_sym(cached: &DMat, inc: &Csr, inter: &Csr, v: &DMat, sn: &[f32]) -> DMat {
+    let vs = v.scale_rows(sn);
+    let mut out = inc.spmm(cached);
+    out.add_assign(&inter.spmm(&vs));
+    out.add_assign(&vs);
+    out.scale_rows_assign(sn);
+    out
+}
+
+/// New-row output of one frozen **mean** site:
+/// `r_n ∘ (inc·cached + inter·v)`.
+fn site_mean(cached: &DMat, inc: &Csr, inter: &Csr, v: &DMat, rn: &[f32]) -> DMat {
+    let mut out = inc.spmm(cached);
+    out.add_assign(&inter.spmm(v));
+    out.scale_rows_assign(rn);
+    out
+}
+
+/// The request's own degree scales: symmetric `1/sqrt(1 + inc mass +
+/// inter mass)` and mean `1/(inc mass + inter mass)` per new row —
+/// identical to what the exact extended operator computes for its new
+/// rows.
+fn request_scales(inc: &Csr, inter: &Csr) -> (Vec<f32>, Vec<f32>) {
+    let n = inc.rows();
+    let mut sym = vec![1.0f32; n];
+    let mut mean = vec![0.0f32; n];
+    for (bi, _, v) in inc.iter() {
+        sym[bi] += v;
+        mean[bi] += v;
+    }
+    for (bi, _, v) in inter.iter() {
+        sym[bi] += v;
+        mean[bi] += v;
+    }
+    let sn = sym.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let rn = mean.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
+    (sn, rn)
+}
+
+impl GnnModel {
+    /// Serves a batch's logits from a [`FrozenBase`] cache — the
+    /// approximate `O(L·(nnz + n·d))` path. See the module docs for the
+    /// approximation contract.
+    ///
+    /// # Panics
+    /// Panics when `frozen` was built for a different architecture /
+    /// propagation depth, or on block-shape mismatch.
+    #[must_use]
+    pub fn predict_frozen(
+        &self,
+        frozen: &FrozenBase,
+        inc: &Csr,
+        inter: &Csr,
+        x_new: &DMat,
+    ) -> DMat {
+        assert_eq!(frozen.kind, self.kind(), "predict_frozen: architecture mismatch");
+        assert_eq!(
+            frozen.hops, self.hops,
+            "predict_frozen: cache frozen at a different propagation depth"
+        );
+        assert_eq!(inc.cols(), frozen.n_base, "predict_frozen: inc columns must index the base");
+        assert_eq!(inc.rows(), x_new.rows(), "predict_frozen: inc rows");
+        assert_eq!(inter.rows(), x_new.rows(), "predict_frozen: inter rows");
+        assert_eq!(inter.cols(), x_new.rows(), "predict_frozen: inter must be square");
+        assert_eq!(x_new.cols(), frozen.in_dim, "predict_frozen: feature width mismatch");
+        let (sn, rn) = request_scales(inc, inter);
+        let p = self.params();
+        let s = &frozen.sites;
+        match self.kind() {
+            GnnKind::Sgc => {
+                let mut h = x_new.clone();
+                for site in s {
+                    h = site_sym(site, inc, inter, &h, &sn);
+                }
+                h.matmul(&p[0]).add_row_broadcast(p[1].row(0))
+            }
+            GnnKind::Gcn => {
+                let hn = site_sym(&s[0], inc, inter, &x_new.matmul(&p[0]), &sn)
+                    .add_row_broadcast(p[1].row(0))
+                    .relu();
+                site_sym(&s[1], inc, inter, &hn.matmul(&p[2]), &sn)
+                    .add_row_broadcast(p[3].row(0))
+            }
+            GnnKind::Sage => {
+                let an = site_mean(&s[0], inc, inter, x_new, &rn);
+                let hn = x_new
+                    .matmul(&p[0])
+                    .add(&an.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                hn.matmul(&p[3])
+                    .add(&site_mean(&s[1], inc, inter, &hn, &rn).matmul(&p[4]))
+                    .add_row_broadcast(p[5].row(0))
+            }
+            GnnKind::Appnp => {
+                let hn0 = x_new
+                    .matmul(&p[0])
+                    .add_row_broadcast(p[1].row(0))
+                    .relu()
+                    .matmul(&p[2])
+                    .add_row_broadcast(p[3].row(0));
+                let tn = hn0.scale(self.alpha);
+                let mut zn = hn0;
+                for site in s {
+                    zn = site_sym(site, inc, inter, &zn, &sn).scale(1.0 - self.alpha).add(&tn);
+                }
+                zn
+            }
+            GnnKind::Cheby => {
+                let t1n = site_sym(&s[0], inc, inter, x_new, &sn).scale(-1.0);
+                let hn = x_new
+                    .matmul(&p[0])
+                    .add(&t1n.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                let t1hn = site_sym(&s[1], inc, inter, &hn, &sn).scale(-1.0);
+                hn.matmul(&p[3])
+                    .add(&t1hn.matmul(&p[4]))
+                    .add_row_broadcast(p[5].row(0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcond_linalg::MatRng;
+    use mcond_sparse::Coo;
+
+    fn fixture() -> (Csr, DMat) {
+        let mut base = Coo::new(5, 5);
+        for i in 0..5 {
+            base.push_sym(i, (i + 1) % 5, 1.0);
+        }
+        (base.to_csr(), MatRng::seed_from(11).normal(5, 4, 0.0, 1.0))
+    }
+
+    fn exact_new_rows(
+        model: &GnnModel,
+        base: &Csr,
+        base_x: &DMat,
+        inc: &Csr,
+        inter: &Csr,
+        x_new: &DMat,
+    ) -> DMat {
+        let ops = GraphOps::extended(base, inc, inter);
+        model.predict_split(&ops, base_x, x_new)
+    }
+
+    /// With zero incremental edges the batch does not perturb base
+    /// degrees or activations, so the frozen path must agree with the
+    /// exact one (the only remaining difference is exact-zero `inc`
+    /// contributions).
+    #[test]
+    fn disconnected_batch_is_served_exactly() {
+        let (base, base_x) = fixture();
+        let inc = Csr::empty(2, 5);
+        let mut inter = Coo::new(2, 2);
+        inter.push_sym(0, 1, 1.0);
+        let inter = inter.to_csr();
+        let x_new = MatRng::seed_from(12).normal(2, 4, 0.0, 1.0);
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 4, 6, 3, 21);
+            let frozen = FrozenBase::new(&model, &base, &base_x);
+            let approx = model.predict_frozen(&frozen, &inc, &inter, &x_new);
+            let exact = exact_new_rows(&model, &base, &base_x, &inc, &inter, &x_new);
+            assert_eq!(approx.shape(), (2, 3), "{}", kind.name());
+            for (a, b) in approx.as_slice().iter().zip(exact.as_slice()) {
+                assert!(
+                    mcond_linalg::approx_eq(*a, *b, 1e-5),
+                    "{}: {a} vs {b}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    /// Connected batches deviate but stay finite, shape-correct, and in
+    /// the same ballpark as the exact logits.
+    #[test]
+    fn connected_batch_stays_finite_and_bounded() {
+        let (base, base_x) = fixture();
+        let mut inc = Coo::new(2, 5);
+        inc.push(0, 1, 2.0);
+        inc.push(1, 3, 1.0);
+        let inc = inc.to_csr();
+        let inter = Csr::empty(2, 2);
+        let x_new = MatRng::seed_from(13).normal(2, 4, 0.0, 1.0);
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 4, 6, 3, 22);
+            let frozen = FrozenBase::new(&model, &base, &base_x);
+            assert!(frozen.bytes() > 0);
+            let approx = model.predict_frozen(&frozen, &inc, &inter, &x_new);
+            let exact = exact_new_rows(&model, &base, &base_x, &inc, &inter, &x_new);
+            assert_eq!(approx.shape(), exact.shape());
+            assert!(approx.all_finite(), "{}", kind.name());
+            let dev: f32 = approx
+                .as_slice()
+                .iter()
+                .zip(exact.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(dev < 5.0, "{}: max deviation {dev}", kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn cross_architecture_cache_is_rejected() {
+        let (base, base_x) = fixture();
+        let sgc = GnnModel::new(GnnKind::Sgc, 4, 0, 3, 1);
+        let gcn = GnnModel::new(GnnKind::Gcn, 4, 6, 3, 1);
+        let frozen = FrozenBase::new(&sgc, &base, &base_x);
+        let _ = gcn.predict_frozen(&frozen, &Csr::empty(1, 5), &Csr::empty(1, 1), &DMat::zeros(1, 4));
+    }
+}

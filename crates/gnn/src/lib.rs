@@ -10,12 +10,14 @@
 //! [`CostMeter`] implements the paper's evaluation metrics: wall-clock
 //! inference time and the storage model `O(‖A‖₀ + (N + n)d)` of §II-B.
 
+mod frozen;
 mod metrics;
 mod model;
 mod propagator;
 mod trainer;
 
+pub use frozen::FrozenBase;
 pub use metrics::{accuracy, confusion_counts, CostMeter, InferenceCost};
 pub use model::{GnnKind, GnnModel, GraphOps};
-pub use propagator::Propagator;
+pub use propagator::{BaseDegrees, Propagator};
 pub use trainer::{train, TrainConfig, TrainReport};

@@ -1,6 +1,6 @@
 //! The five GNN architectures of the paper.
 
-use crate::propagator::Propagator;
+use crate::propagator::{BaseDegrees, Propagator};
 use mcond_autodiff::{Tape, Var};
 use mcond_linalg::{DMat, MatRng};
 use mcond_sparse::{row_normalize_dense, sym_normalize, Csr};
@@ -80,14 +80,14 @@ impl GnnKind {
 /// may be a materialised matrix or a lazily extended block operator (see
 /// [`Propagator`]); [`GnnModel::predict`] works with both, while training
 /// requires materialised operators.
-pub struct GraphOps {
+pub struct GraphOps<'a> {
     /// Symmetric-normalised adjacency with self-loops.
-    pub sym: Propagator,
+    pub sym: Propagator<'a>,
     /// Row-normalised adjacency (no self-loops).
-    pub mean: Propagator,
+    pub mean: Propagator<'a>,
 }
 
-impl GraphOps {
+impl GraphOps<'static> {
     /// Builds both operators from a raw adjacency (materialised form).
     #[must_use]
     pub fn from_adj(adj: &Csr) -> Self {
@@ -108,16 +108,35 @@ impl GraphOps {
         let _ = row_normalize_dense; // dense variant lives in mcond-sparse for adjacency blocks
         Self { sym: Propagator::Matrix(sym), mean: Propagator::Matrix(Arc::new(dense_free)) }
     }
+}
 
+impl<'a> GraphOps<'a> {
     /// Builds both operators for the extended graph `[[base, incᵀ], [inc,
     /// inter]]` **without materialising it** — per-batch inductive serving
     /// then costs O(nnz(inc) + nnz(inter) + n) instead of copying the base
-    /// graph (see `mcond-core`'s `InductiveServer`).
+    /// graph (see `mcond-core`'s `InductiveServer`). The blocks are
+    /// borrowed, not cloned: a request's `inc`/`inter` are used in place.
     #[must_use]
-    pub fn extended(base: &Arc<Csr>, inc: &Arc<Csr>, inter: &Arc<Csr>) -> Self {
+    pub fn extended(base: &'a Csr, inc: &'a Csr, inter: &'a Csr) -> Self {
         Self {
-            sym: Propagator::extended_sym(Arc::clone(base), Arc::clone(inc), Arc::clone(inter)),
-            mean: Propagator::extended_mean(Arc::clone(base), Arc::clone(inc), Arc::clone(inter)),
+            sym: Propagator::extended_sym(base, inc, inter),
+            mean: Propagator::extended_mean(base, inc, inter),
+        }
+    }
+
+    /// [`extended`](Self::extended) with the base graph's degree sums
+    /// supplied by the caller ([`BaseDegrees::of`], computed once per
+    /// server). Bitwise identical to [`extended`](Self::extended).
+    #[must_use]
+    pub fn extended_with(
+        base: &'a Csr,
+        inc: &'a Csr,
+        inter: &'a Csr,
+        deg: &BaseDegrees,
+    ) -> Self {
+        Self {
+            sym: Propagator::extended_sym_with(base, inc, inter, deg),
+            mean: Propagator::extended_mean_with(base, inc, inter, deg),
         }
     }
 }
@@ -346,6 +365,113 @@ impl GnnModel {
                 let t1h = ops.sym.spmm(&h).scale(-1.0);
                 h.matmul(&p[3])
                     .add(&t1h.matmul(&p[4]))
+                    .add_row_broadcast(p[5].row(0))
+            }
+        }
+    }
+
+    /// Split-operator inference: logits for the **new rows only** of the
+    /// graph behind `ops`, fed as a `(x_base, x_new)` pair that is never
+    /// vstacked.
+    ///
+    /// This is the serving fast path: every dense layer step is
+    /// row-independent and the propagation steps use
+    /// [`Propagator::spmm_split`] / [`Propagator::spmm_bottom`], so the
+    /// returned `n×C` block is **bitwise identical** to
+    /// `predict(ops, x_base.vstack(x_new))` sliced to its last `n` rows —
+    /// at any thread count — while the final propagation computes only the
+    /// `n` inductive output rows and no base-side state is copied.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch between the split inputs and `ops`.
+    #[must_use]
+    pub fn predict_split(&self, ops: &GraphOps<'_>, x_base: &DMat, x_new: &DMat) -> DMat {
+        let p = &self.params;
+        match self.kind {
+            GnnKind::Sgc => {
+                if self.hops == 0 {
+                    return x_new.matmul(&p[0]).add_row_broadcast(p[1].row(0));
+                }
+                if self.hops == 1 {
+                    return ops
+                        .sym
+                        .spmm_bottom(x_base, x_new)
+                        .matmul(&p[0])
+                        .add_row_broadcast(p[1].row(0));
+                }
+                let (mut hb, mut hn) = ops.sym.spmm_split(x_base, x_new);
+                for _ in 1..self.hops - 1 {
+                    let (tb, tn) = ops.sym.spmm_split(&hb, &hn);
+                    hb = tb;
+                    hn = tn;
+                }
+                ops.sym
+                    .spmm_bottom(&hb, &hn)
+                    .matmul(&p[0])
+                    .add_row_broadcast(p[1].row(0))
+            }
+            GnnKind::Gcn => {
+                let (hb, hn) = ops.sym.spmm_split(&x_base.matmul(&p[0]), &x_new.matmul(&p[0]));
+                let hb = hb.add_row_broadcast(p[1].row(0)).relu();
+                let hn = hn.add_row_broadcast(p[1].row(0)).relu();
+                ops.sym
+                    .spmm_bottom(&hb.matmul(&p[2]), &hn.matmul(&p[2]))
+                    .add_row_broadcast(p[3].row(0))
+            }
+            GnnKind::Sage => {
+                let (ab, an) = ops.mean.spmm_split(x_base, x_new);
+                let hb = x_base
+                    .matmul(&p[0])
+                    .add(&ab.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                let hn = x_new
+                    .matmul(&p[0])
+                    .add(&an.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                hn.matmul(&p[3])
+                    .add(&ops.mean.spmm_bottom(&hb, &hn).matmul(&p[4]))
+                    .add_row_broadcast(p[5].row(0))
+            }
+            GnnKind::Appnp => {
+                let mlp = |x: &DMat| {
+                    x.matmul(&p[0])
+                        .add_row_broadcast(p[1].row(0))
+                        .relu()
+                        .matmul(&p[2])
+                        .add_row_broadcast(p[3].row(0))
+                };
+                let hb0 = mlp(x_base);
+                let hn0 = mlp(x_new);
+                if self.hops == 0 {
+                    return hn0;
+                }
+                let tb = hb0.scale(self.alpha);
+                let tn = hn0.scale(self.alpha);
+                let (mut zb, mut zn) = (hb0, hn0);
+                for _ in 0..self.hops - 1 {
+                    let (pb, pn) = ops.sym.spmm_split(&zb, &zn);
+                    zb = pb.scale(1.0 - self.alpha).add(&tb);
+                    zn = pn.scale(1.0 - self.alpha).add(&tn);
+                }
+                ops.sym.spmm_bottom(&zb, &zn).scale(1.0 - self.alpha).add(&tn)
+            }
+            GnnKind::Cheby => {
+                let (t1b, t1n) = ops.sym.spmm_split(x_base, x_new);
+                let hb = x_base
+                    .matmul(&p[0])
+                    .add(&t1b.scale(-1.0).matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                let hn = x_new
+                    .matmul(&p[0])
+                    .add(&t1n.scale(-1.0).matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                let t1h_n = ops.sym.spmm_bottom(&hb, &hn).scale(-1.0);
+                hn.matmul(&p[3])
+                    .add(&t1h_n.matmul(&p[4]))
                     .add_row_broadcast(p[5].row(0))
             }
         }

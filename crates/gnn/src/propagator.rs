@@ -13,56 +13,116 @@
 //! inductive inference O(nnz(inc) + nnz(inter) + n·d) instead of copying
 //! the entire base graph into a new CSR per batch (Eq. 3/11 deployments
 //! re-attach a fresh batch to the same base graph every call).
+//!
+//! # Split-operator serving
+//!
+//! The extended operator additionally exposes the product in **split form**
+//! ([`Propagator::spmm_split`], [`Propagator::spmm_bottom`]): the caller
+//! passes base-side and new-side activations as two separate matrices and
+//! never vstacks them. Because every dense step of a GNN layer is
+//! row-independent and the extension's raw product is already computed
+//! block-wise, the split form is **bitwise identical** to slicing the
+//! vstacked product — at any thread count (the kernels' determinism
+//! contract). [`spmm_bottom`](Propagator::spmm_bottom) computes only the
+//! `n` inductive output rows, which lets the final layer of a served
+//! forward pass cost `n×C` instead of `(N'+n)×C`.
+//!
+//! The base graph's degree sums never change between requests;
+//! [`BaseDegrees`] captures them once so per-request normalisation only
+//! folds in the incremental/interconnect mass.
 
 use mcond_linalg::DMat;
 use mcond_sparse::Csr;
 use std::sync::Arc;
 
-/// The lazy extension payload: base graph + incremental blocks +
-/// precomputed normalisation vectors.
-pub struct Extension {
-    base: Arc<Csr>,
-    inc: Arc<Csr>,
-    inter: Arc<Csr>,
-    /// Per-node scale applied before and after the raw product for the
-    /// symmetric kernel (`1/sqrt(d̃)`), or the reciprocal degree applied
-    /// after for the mean kernel. Length `base.rows() + inc.rows()`.
-    scale: Vec<f32>,
+/// Per-node weighted degree sums of a fixed base graph, computed once and
+/// shared across every request served against that graph.
+///
+/// `sym` includes the GCN self-loop (`1 + Σ_j w_ij`), `mean` does not
+/// (`Σ_j w_ij`). The accumulation order matches what
+/// [`Propagator::extended_sym`] / [`Propagator::extended_mean`] would
+/// compute from scratch, so operators built via the `_with` constructors
+/// are bitwise identical to the direct ones.
+pub struct BaseDegrees {
+    /// `1 + row mass` per base node (symmetric kernel, self-loop included).
+    pub sym: Vec<f32>,
+    /// `row mass` per base node (mean kernel, no self-loop).
+    pub mean: Vec<f32>,
+}
+
+impl BaseDegrees {
+    /// Accumulates both degree vectors in one pass over `base`.
+    #[must_use]
+    pub fn of(base: &Csr) -> Self {
+        let n = base.rows();
+        let mut sym = vec![1.0f32; n];
+        let mut mean = vec![0.0f32; n];
+        for (i, _, v) in base.iter() {
+            sym[i] += v;
+            mean[i] += v;
+        }
+        Self { sym, mean }
+    }
+}
+
+/// The lazy extension payload: borrowed base graph + incremental blocks +
+/// precomputed normalisation vectors, split base-side / new-side.
+///
+/// Borrowing (instead of owning `Arc`s) is what makes the serving fast
+/// path zero-copy: a request's `inc`/`inter` blocks are used in place and
+/// the base graph is shared by reference for the lifetime of the forward
+/// pass.
+pub struct Extension<'a> {
+    base: &'a Csr,
+    inc: &'a Csr,
+    inter: &'a Csr,
+    /// Per-node scale for base rows: `1/sqrt(d̃)` (symmetric kernel,
+    /// applied before and after the raw product) or `1/d` (mean kernel,
+    /// applied after). Length `base.rows()`.
+    scale_base: Vec<f32>,
+    /// Same, for the new (inductive) rows. Length `inc.rows()`.
+    scale_new: Vec<f32>,
     /// Whether a self-loop term (`+ x_i`) is part of the raw product
     /// (symmetric GCN kernel) or not (mean kernel).
     self_loop: bool,
 }
 
-impl Extension {
-    /// Raw block product `Ã_ext · x` (plus self-loops when configured).
-    fn raw_product(&self, x: &DMat) -> DMat {
-        let n_base = self.base.rows();
-        let x_base = x.slice_rows(0, n_base);
-        let x_new = x.slice_rows(n_base, x.rows());
+impl Extension<'_> {
+    /// Raw block product `Ã_ext · [x_base; x_new]` (plus self-loops when
+    /// configured), returned without vstacking the two halves.
+    fn raw_split(&self, x_base: &DMat, x_new: &DMat) -> (DMat, DMat) {
         // Top block: base·x_base + incᵀ·x_new (+ x_base).
-        let mut top = self.base.spmm(&x_base);
-        top.add_assign(&self.inc.spmm_t(&x_new));
+        let mut top = self.base.spmm(x_base);
+        top.add_assign(&self.inc.spmm_t(x_new));
         // Bottom block: inc·x_base + inter·x_new (+ x_new).
-        let mut bottom = self.inc.spmm(&x_base);
-        bottom.add_assign(&self.inter.spmm(&x_new));
+        let bottom = self.raw_bottom(x_base, x_new);
         if self.self_loop {
-            top.add_assign(&x_base);
-            bottom.add_assign(&x_new);
+            top.add_assign(x_base);
         }
-        top.vstack(&bottom)
+        (top, bottom)
+    }
+
+    /// Bottom block only: `inc·x_base + inter·x_new (+ x_new)`.
+    fn raw_bottom(&self, x_base: &DMat, x_new: &DMat) -> DMat {
+        let mut bottom = self.inc.spmm(x_base);
+        bottom.add_assign(&self.inter.spmm(x_new));
+        if self.self_loop {
+            bottom.add_assign(x_new);
+        }
+        bottom
     }
 }
 
 /// A multiply-only view of a (normalised) adjacency.
-pub enum Propagator {
+pub enum Propagator<'a> {
     /// Materialised sparse matrix.
     Matrix(Arc<Csr>),
     /// Lazily extended block operator (symmetric kernel:
     /// `D̃^{-1/2} Ã_ext D̃^{-1/2}`; mean kernel: `D^{-1} A_ext`).
-    Extended(Box<Extension>),
+    Extended(Box<Extension<'a>>),
 }
 
-impl Propagator {
+impl<'a> Propagator<'a> {
     /// Number of rows (= columns) of the square operator.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -82,14 +142,80 @@ impl Propagator {
             Propagator::Matrix(m) => m.spmm(x),
             Propagator::Extended(e) => {
                 assert_eq!(x.rows(), self.rows(), "Propagator::spmm: row mismatch");
+                let n_base = e.base.rows();
+                let x_base = x.slice_rows(0, n_base);
+                let x_new = x.slice_rows(n_base, x.rows());
+                let (top, bottom) = self.spmm_split(&x_base, &x_new);
+                top.vstack(&bottom)
+            }
+        }
+    }
+
+    /// Split product `self · [x_base; x_new]`, returned as the
+    /// `(top, bottom)` halves without ever vstacking the input.
+    ///
+    /// Bitwise identical to `self.spmm(&x_base.vstack(x_new))` split back
+    /// into its two row blocks, at any thread count.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch (for the extended form, `x_base` must
+    /// carry exactly the base rows and `x_new` the new rows).
+    #[must_use]
+    pub fn spmm_split(&self, x_base: &DMat, x_new: &DMat) -> (DMat, DMat) {
+        match self {
+            Propagator::Matrix(m) => {
+                let x = x_base.vstack(x_new);
+                let top = m.spmm_row_range(0..x_base.rows(), &x);
+                let bottom = m.spmm_row_range(x_base.rows()..x.rows(), &x);
+                (top, bottom)
+            }
+            Propagator::Extended(e) => {
+                check_split_input(e, x_base, x_new);
                 if e.self_loop {
                     // Symmetric kernel: scale, raw product, scale.
-                    let scaled = x.scale_rows(&e.scale);
-                    e.raw_product(&scaled).scale_rows(&e.scale)
+                    let xbs = x_base.scale_rows(&e.scale_base);
+                    let xns = x_new.scale_rows(&e.scale_new);
+                    let (mut top, mut bottom) = e.raw_split(&xbs, &xns);
+                    top.scale_rows_assign(&e.scale_base);
+                    bottom.scale_rows_assign(&e.scale_new);
+                    (top, bottom)
                 } else {
                     // Mean kernel: raw product, then reciprocal-degree scale.
-                    e.raw_product(x).scale_rows(&e.scale)
+                    let (mut top, mut bottom) = e.raw_split(x_base, x_new);
+                    top.scale_rows_assign(&e.scale_base);
+                    bottom.scale_rows_assign(&e.scale_new);
+                    (top, bottom)
                 }
+            }
+        }
+    }
+
+    /// Bottom rows only of the split product: the `n` inductive output
+    /// rows of `self · [x_base; x_new]`, skipping the `N'` base output
+    /// rows entirely.
+    ///
+    /// Bitwise identical to `self.spmm_split(x_base, x_new).1`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn spmm_bottom(&self, x_base: &DMat, x_new: &DMat) -> DMat {
+        match self {
+            Propagator::Matrix(m) => {
+                let x = x_base.vstack(x_new);
+                m.spmm_row_range(x_base.rows()..x.rows(), &x)
+            }
+            Propagator::Extended(e) => {
+                check_split_input(e, x_base, x_new);
+                let mut bottom = if e.self_loop {
+                    let xbs = x_base.scale_rows(&e.scale_base);
+                    let xns = x_new.scale_rows(&e.scale_new);
+                    e.raw_bottom(&xbs, &xns)
+                } else {
+                    e.raw_bottom(x_base, x_new)
+                };
+                bottom.scale_rows_assign(&e.scale_new);
+                bottom
             }
         }
     }
@@ -119,23 +245,47 @@ impl Propagator {
     /// # Panics
     /// Panics on inconsistent block shapes.
     #[must_use]
-    pub fn extended_sym(base: Arc<Csr>, inc: Arc<Csr>, inter: Arc<Csr>) -> Self {
-        let (n_base, n_new) = check_blocks(&base, &inc, &inter);
-        // Degrees of Ã_ext (self-loop included).
-        let mut deg = vec![1.0f32; n_base + n_new];
-        for (i, _, v) in base.iter() {
-            deg[i] += v;
-        }
+    pub fn extended_sym(base: &'a Csr, inc: &'a Csr, inter: &'a Csr) -> Self {
+        Self::extended_sym_with(base, inc, inter, &BaseDegrees::of(base))
+    }
+
+    /// [`extended_sym`](Self::extended_sym) with the base-graph degree
+    /// sums supplied by the caller ([`BaseDegrees::of`], computed once per
+    /// server instead of once per request). Bitwise identical to the
+    /// direct constructor.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block shapes or a `deg` of the wrong length.
+    #[must_use]
+    pub fn extended_sym_with(
+        base: &'a Csr,
+        inc: &'a Csr,
+        inter: &'a Csr,
+        deg: &BaseDegrees,
+    ) -> Self {
+        let (n_base, n_new) = check_blocks(base, inc, inter);
+        assert_eq!(deg.sym.len(), n_base, "extended_sym_with: degree length mismatch");
+        // Degrees of Ã_ext (self-loop included): base sums are shared, the
+        // request only folds in its incremental/interconnect mass — in the
+        // same order the from-scratch accumulation would.
+        let mut deg_base = deg.sym.clone();
+        let mut deg_new = vec![1.0f32; n_new];
         for (bi, bj, v) in inc.iter() {
-            deg[n_base + bi] += v; // row of the bottom-left block
-            deg[bj] += v; // mirrored into the top-right block
+            deg_new[bi] += v; // row of the bottom-left block
+            deg_base[bj] += v; // mirrored into the top-right block
         }
         for (bi, _, v) in inter.iter() {
-            deg[n_base + bi] += v;
+            deg_new[bi] += v;
         }
-        let scale: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
-        Propagator::Extended(Box::new(Extension { base, inc, inter, scale, self_loop: true }))
+        let inv_sqrt = |d: &f32| if *d > 0.0 { 1.0 / d.sqrt() } else { 0.0 };
+        Propagator::Extended(Box::new(Extension {
+            base,
+            inc,
+            inter,
+            scale_base: deg_base.iter().map(inv_sqrt).collect(),
+            scale_new: deg_new.iter().map(inv_sqrt).collect(),
+            self_loop: true,
+        }))
     }
 
     /// Builds the **mean (row-stochastic) kernel** of the extended graph:
@@ -144,22 +294,42 @@ impl Propagator {
     /// # Panics
     /// Panics on inconsistent block shapes.
     #[must_use]
-    pub fn extended_mean(base: Arc<Csr>, inc: Arc<Csr>, inter: Arc<Csr>) -> Self {
-        let (n_base, n_new) = check_blocks(&base, &inc, &inter);
-        let mut deg = vec![0.0f32; n_base + n_new];
-        for (i, _, v) in base.iter() {
-            deg[i] += v;
-        }
+    pub fn extended_mean(base: &'a Csr, inc: &'a Csr, inter: &'a Csr) -> Self {
+        Self::extended_mean_with(base, inc, inter, &BaseDegrees::of(base))
+    }
+
+    /// [`extended_mean`](Self::extended_mean) with shared base-graph
+    /// degree sums; bitwise identical to the direct constructor.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block shapes or a `deg` of the wrong length.
+    #[must_use]
+    pub fn extended_mean_with(
+        base: &'a Csr,
+        inc: &'a Csr,
+        inter: &'a Csr,
+        deg: &BaseDegrees,
+    ) -> Self {
+        let (n_base, n_new) = check_blocks(base, inc, inter);
+        assert_eq!(deg.mean.len(), n_base, "extended_mean_with: degree length mismatch");
+        let mut deg_base = deg.mean.clone();
+        let mut deg_new = vec![0.0f32; n_new];
         for (bi, bj, v) in inc.iter() {
-            deg[n_base + bi] += v;
-            deg[bj] += v;
+            deg_new[bi] += v;
+            deg_base[bj] += v;
         }
         for (bi, _, v) in inter.iter() {
-            deg[n_base + bi] += v;
+            deg_new[bi] += v;
         }
-        let scale: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
-        Propagator::Extended(Box::new(Extension { base, inc, inter, scale, self_loop: false }))
+        let inv = |d: &f32| if *d > 0.0 { 1.0 / d } else { 0.0 };
+        Propagator::Extended(Box::new(Extension {
+            base,
+            inc,
+            inter,
+            scale_base: deg_base.iter().map(inv).collect(),
+            scale_new: deg_new.iter().map(inv).collect(),
+            self_loop: false,
+        }))
     }
 }
 
@@ -171,6 +341,12 @@ fn check_blocks(base: &Csr, inc: &Csr, inter: &Csr) -> (usize, usize) {
     (base.rows(), inc.rows())
 }
 
+fn check_split_input(e: &Extension<'_>, x_base: &DMat, x_new: &DMat) {
+    assert_eq!(x_base.rows(), e.base.rows(), "spmm_split: base row mismatch");
+    assert_eq!(x_new.rows(), e.inc.rows(), "spmm_split: new row mismatch");
+    assert_eq!(x_base.cols(), x_new.cols(), "spmm_split: column mismatch");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,7 +355,7 @@ mod tests {
 
     /// base: ring of 4; two new nodes, node 0' -> base 1 (w 2.0),
     /// node 1' -> base 3 (w 1.0); new nodes connected to each other.
-    fn blocks() -> (Arc<Csr>, Arc<Csr>, Arc<Csr>) {
+    fn blocks() -> (Csr, Csr, Csr) {
         let mut base = Coo::new(4, 4);
         for i in 0..4 {
             base.push_sym(i, (i + 1) % 4, 1.0);
@@ -189,7 +365,7 @@ mod tests {
         inc.push(1, 3, 1.0);
         let mut inter = Coo::new(2, 2);
         inter.push_sym(0, 1, 1.0);
-        (Arc::new(base.to_csr()), Arc::new(inc.to_csr()), Arc::new(inter.to_csr()))
+        (base.to_csr(), inc.to_csr(), inter.to_csr())
     }
 
     fn materialised(base: &Csr, inc: &Csr, inter: &Csr) -> Csr {
@@ -199,7 +375,7 @@ mod tests {
     #[test]
     fn extended_sym_matches_materialised_normalisation() {
         let (base, inc, inter) = blocks();
-        let lazy = Propagator::extended_sym(Arc::clone(&base), Arc::clone(&inc), Arc::clone(&inter));
+        let lazy = Propagator::extended_sym(&base, &inc, &inter);
         let dense = sym_normalize(&materialised(&base, &inc, &inter));
         let x = MatRng::seed_from(1).normal(6, 3, 0.0, 1.0);
         let a = lazy.spmm(&x);
@@ -212,8 +388,7 @@ mod tests {
     #[test]
     fn extended_mean_matches_materialised_normalisation() {
         let (base, inc, inter) = blocks();
-        let lazy =
-            Propagator::extended_mean(Arc::clone(&base), Arc::clone(&inc), Arc::clone(&inter));
+        let lazy = Propagator::extended_mean(&base, &inc, &inter);
         let dense_raw = materialised(&base, &inc, &inter).to_dense();
         let dense = row_normalize_dense(&dense_raw);
         let x = MatRng::seed_from(2).normal(6, 3, 0.0, 1.0);
@@ -225,11 +400,56 @@ mod tests {
     }
 
     #[test]
+    fn shared_base_degrees_are_bitwise_identical_to_direct_build() {
+        let (base, inc, inter) = blocks();
+        let deg = BaseDegrees::of(&base);
+        let x = MatRng::seed_from(7).normal(6, 5, 0.0, 1.0);
+        for (direct, shared) in [
+            (
+                Propagator::extended_sym(&base, &inc, &inter),
+                Propagator::extended_sym_with(&base, &inc, &inter, &deg),
+            ),
+            (
+                Propagator::extended_mean(&base, &inc, &inter),
+                Propagator::extended_mean_with(&base, &inc, &inter, &deg),
+            ),
+        ] {
+            assert_eq!(direct.spmm(&x).as_slice(), shared.spmm(&x).as_slice());
+        }
+    }
+
+    /// The split/bottom forms must reproduce the vstacked product bitwise,
+    /// for the extended and the materialised variants, at 1 and 4 threads.
+    #[test]
+    fn split_and_bottom_match_full_product_bitwise() {
+        let (base, inc, inter) = blocks();
+        let x = MatRng::seed_from(9).normal(6, 5, 0.0, 1.0);
+        let xb = x.slice_rows(0, 4);
+        let xn = x.slice_rows(4, 6);
+        let mat = Arc::new(sym_normalize(&materialised(&base, &inc, &inter)));
+        for threads in [1usize, 4] {
+            mcond_par::with_thread_limit(threads, || {
+                for p in [
+                    Propagator::extended_sym(&base, &inc, &inter),
+                    Propagator::extended_mean(&base, &inc, &inter),
+                    Propagator::Matrix(Arc::clone(&mat)),
+                ] {
+                    let full = p.spmm(&x);
+                    let (top, bottom) = p.spmm_split(&xb, &xn);
+                    assert_eq!(top.as_slice(), full.slice_rows(0, 4).as_slice());
+                    assert_eq!(bottom.as_slice(), full.slice_rows(4, 6).as_slice());
+                    assert_eq!(p.spmm_bottom(&xb, &xn).as_slice(), bottom.as_slice());
+                }
+            });
+        }
+    }
+
+    #[test]
     fn empty_extension_reduces_to_base_kernel() {
         let (base, _, _) = blocks();
-        let inc = Arc::new(Csr::empty(0, 4));
-        let inter = Arc::new(Csr::empty(0, 0));
-        let lazy = Propagator::extended_sym(Arc::clone(&base), inc, inter);
+        let inc = Csr::empty(0, 4);
+        let inter = Csr::empty(0, 0);
+        let lazy = Propagator::extended_sym(&base, &inc, &inter);
         let direct = sym_normalize(&base);
         let x = MatRng::seed_from(3).normal(4, 2, 0.0, 1.0);
         let a = lazy.spmm(&x);
@@ -254,7 +474,7 @@ mod tests {
     #[should_panic(expected = "cannot be recorded on a tape")]
     fn extended_csr_handle_panics() {
         let (base, inc, inter) = blocks();
-        let lazy = Propagator::extended_sym(base, inc, inter);
+        let lazy = Propagator::extended_sym(&base, &inc, &inter);
         let _ = lazy.csr();
     }
 }

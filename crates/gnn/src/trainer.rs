@@ -149,7 +149,7 @@ mod tests {
     use crate::GnnKind;
     use mcond_graph::{generate_sbm, SbmConfig};
 
-    fn dataset() -> (GraphOps, DMat, Vec<usize>) {
+    fn dataset() -> (GraphOps<'static>, DMat, Vec<usize>) {
         let g = generate_sbm(&SbmConfig {
             nodes: 120,
             edges: 360,

@@ -4,7 +4,7 @@
 use mcond_gnn::{accuracy, train, GnnKind, GnnModel, GraphOps, TrainConfig};
 use mcond_graph::{generate_sbm, SbmConfig};
 
-fn hard_dataset(seed: u64) -> (GraphOps, mcond_linalg::DMat, Vec<usize>) {
+fn hard_dataset(seed: u64) -> (GraphOps<'static>, mcond_linalg::DMat, Vec<usize>) {
     // Features weak, structure strong: a GNN must use the graph to win.
     let g = generate_sbm(&SbmConfig {
         nodes: 200,

@@ -137,6 +137,20 @@ impl DMat {
         out
     }
 
+    /// In-place variant of [`scale_rows`](Self::scale_rows): multiplies row
+    /// `i` by `scales[i]` without allocating a new matrix.
+    ///
+    /// # Panics
+    /// Panics when `scales.len() != self.rows()`.
+    pub fn scale_rows_assign(&mut self, scales: &[f32]) {
+        assert_eq!(scales.len(), self.rows(), "scale_rows_assign: length mismatch");
+        for (i, &s) in scales.iter().enumerate() {
+            for v in self.row_mut(i) {
+                *v *= s;
+            }
+        }
+    }
+
     /// Row-wise softmax.
     #[must_use]
     pub fn softmax_rows(&self) -> DMat {
@@ -278,5 +292,8 @@ mod tests {
             DMat::from_rows(&[&[11., 22.], &[13., 24.]])
         );
         assert_eq!(a.scale_rows(&[2.0, 0.0]), DMat::from_rows(&[&[2., 4.], &[0., 0.]]));
+        let mut b = a.clone();
+        b.scale_rows_assign(&[2.0, 0.0]);
+        assert_eq!(b, a.scale_rows(&[2.0, 0.0]));
     }
 }

@@ -39,13 +39,24 @@
 //! * `serve.fallback` — *nodes* (not requests) whose empty or
 //!   under-covered attachment row triggered the server's fallback policy;
 //! * `serve.panic` — requests whose internal panic was caught at the
-//!   `try_serve_many` request boundary.
+//!   `try_serve_many` request boundary;
+//! * `serve.cache.builds` — frozen-base caches built (one per
+//!   `with_serve_mode(ServeMode::FrozenBase)` call);
+//! * `serve.cache.hits` — requests answered from the frozen-base cache
+//!   (degraded requests fall through to the exact path and do not count);
+//! * `serve.cache.bytes` — gauge: resident size of the frozen-base cache
+//!   at build time;
+//! * `serve.bytes_saved` — gauge: cumulative base-feature bytes the
+//!   split-operator fast path did *not* copy (the per-request `N'×d×4`
+//!   vstack the legacy extended path pays). Zero on
+//!   `ServeMode::Extended`; the `fastpath_equivalence` test asserts it
+//!   equals `requests × N'×d×4` on the fast path.
 //!
 //! Per-server snapshots additionally carry the `serve.latency_us`,
 //! `serve.fanout`, `serve.batch_size`, and `serve.coverage` histograms
-//! (coverage: fraction of each node's incremental mass surviving the
-//! sparsified mapping). The parallel pool contributes `par.pool.tasks`
-//! and `par.pool.threads`.
+//! (coverage: fraction of each node's *absolute* incremental mass
+//! surviving the sparsified mapping, clamped to `[0, 1]`). The parallel
+//! pool contributes `par.pool.tasks` and `par.pool.threads`.
 //!
 //! # Example
 //! ```

@@ -17,13 +17,22 @@ use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 /// Buckets are powers of two (bucket `i` holds values in `[2^(i-1), 2^i)`,
 /// bucket 0 holds `[0, 1)`), which gives ~2x-resolution quantiles over any
 /// range without configuration — plenty for latency and fanout tracking.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
     buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    /// Same as [`Histogram::new`]. (A derived `Default` would start
+    /// `min` at `0.0` instead of `+∞`, permanently pinning the reported
+    /// minimum of any histogram created through `or_default()` to zero.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Histogram {
@@ -331,6 +340,20 @@ mod tests {
         let s = Histogram::new().summary();
         assert_eq!(s.count, 0);
         assert_eq!((s.min, s.max, s.mean, s.p50), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    /// Regression: a `Default`-constructed histogram (the registry's
+    /// `or_default()` path) must report the true minimum, not a zero
+    /// baked in by a derived `Default`.
+    #[test]
+    fn default_histogram_reports_the_true_minimum() {
+        assert_eq!(Histogram::default(), Histogram::new());
+        let mut h = Histogram::default();
+        h.record(7.5);
+        h.record(3.25);
+        let s = h.summary();
+        assert_eq!(s.min, 3.25);
+        assert_eq!(s.max, 7.5);
     }
 
     #[test]

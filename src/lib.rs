@@ -71,10 +71,10 @@ pub mod prelude {
     pub use mcond_core::{
         attach_to_original, attach_to_synthetic, condense, coreset, infer_inductive, vng,
         Checkpoint, Condensed, CoresetMethod, FallbackPolicy, InductiveServer, InferenceTarget,
-        McondConfig, ServeError,
+        McondConfig, ServeError, ServeMode,
     };
     pub use mcond_gnn::{
-        accuracy, train, CostMeter, GnnKind, GnnModel, GraphOps, TrainConfig,
+        accuracy, train, CostMeter, FrozenBase, GnnKind, GnnModel, GraphOps, TrainConfig,
     };
     pub use mcond_graph::{
         generate_sbm, load_dataset, BatchError, Graph, InductiveDataset, NodeBatch, SbmConfig,
