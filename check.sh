@@ -13,7 +13,9 @@ for cmd in \
     "cargo run --release --example checkpointing" \
     "cargo run --release --example robust_serving" \
     "cargo run --release --example inference_acceleration" \
-    "cargo bench -p mcond-bench --bench serve_fastpath"
+    "cargo bench -p mcond-bench --bench serve_fastpath" \
+    "cargo bench -p mcond-bench --bench obs" \
+    "cargo run --release -p mcond-bench --bin trace-report -- target/robust_serving_trace.jsonl"
 do
     if ! grep -q "run: $cmd\$" "$WORKFLOW"; then
         echo "DRIFT: $WORKFLOW is missing the tier-1 step: $cmd" >&2
@@ -39,11 +41,20 @@ cargo bench --workspace --no-run
 cargo run --release --example checkpointing
 # Chaos sweep: every corrupted batch gets a typed ServeError on both
 # serving modes at 1 and 4 threads; valid siblings stay bitwise identical.
-cargo run --release --example robust_serving
+# Also asserts the self-profile stage coverage (>= 90% of the serve span)
+# and the trace-stamped panic flight dump, and leaves a JSONL trace behind
+# for the trace-report smoke below.
+MCOND_LOG=target/robust_serving_trace.jsonl cargo run --release --example robust_serving
 # Headline speedup demo; asserts the split-operator fast path is bitwise
 # identical to the extended reference before reporting numbers.
 cargo run --release --example inference_acceleration
 # Fast-path bench smoke (tiny sample budget): regenerates
 # results/BENCH_serve_fastpath.json and re-checks the bitwise guard.
 MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench serve_fastpath
+# Observability overhead smoke: sink-off vs sharded-registry vs full
+# tracing at 1 and 4 threads; regenerates results/BENCH_obs_overhead.json.
+MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench obs
+# Offline trace tooling smoke: fold the robust_serving JSONL trace into a
+# call-tree profile (fails if the log is missing or span-free).
+cargo run --release -p mcond-bench --bin trace-report -- target/robust_serving_trace.jsonl
 echo "all checks passed"

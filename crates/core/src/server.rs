@@ -46,6 +46,17 @@
 //! threshold. The `chaos` module sweeps systematically corrupted batches
 //! through both serving modes to prove the taxonomy is total.
 //!
+//! # Tracing
+//!
+//! Every request gets a process-unique trace id (`try_serve` via
+//! `mcond_obs::ensure_trace`, `try_serve_many` one per slot) stamped on all
+//! of its span/point records, and the serve path is decomposed into stage
+//! spans — `validate`, `attach`, `fallback` (when it fires), `propagate`,
+//! `head` — each feeding a `serve.stage.*` histogram even when no event
+//! sink is attached. When the flight recorder (`mcond_obs::flight`) is on,
+//! a panicking request in [`try_serve_many`] dumps the worker's recent
+//! event ring, trace-stamped, before reporting [`ServeError::Panicked`].
+//!
 //! # Concurrency
 //!
 //! The server is `Sync`: the base graph is shared behind an [`Arc`] and the
@@ -345,6 +356,9 @@ impl<'a> InductiveServer<'a> {
     /// # Errors
     /// See [`ServeError`] for the full taxonomy.
     pub fn try_serve(&self, batch: &NodeBatch) -> Result<DMat, ServeError> {
+        // One trace id per request (kept when the caller — e.g.
+        // `try_serve_many` — already opened one for us).
+        let _trace = mcond_obs::ensure_trace();
         let out = self.serve_validated(batch);
         if out.is_err() {
             mcond_obs::counter_add("serve.rejected", 1);
@@ -355,11 +369,14 @@ impl<'a> InductiveServer<'a> {
     }
 
     fn serve_validated(&self, batch: &NodeBatch) -> Result<DMat, ServeError> {
-        let _span = mcond_obs::span_with("serve", vec![("batch", batch.len().into())]);
+        let serve_span = mcond_obs::span_with("serve", vec![("batch", batch.len().into())]);
         let start = Instant::now();
-        batch.validate_against(self.expected_inc_cols(), self.base_features.cols())?;
-        if batch.len() > self.max_batch {
-            return Err(ServeError::BatchTooLarge { len: batch.len(), max: self.max_batch });
+        {
+            let _stage = mcond_obs::span_timed("validate", "serve.stage.validate");
+            batch.validate_against(self.expected_inc_cols(), self.base_features.cols())?;
+            if batch.len() > self.max_batch {
+                return Err(ServeError::BatchTooLarge { len: batch.len(), max: self.max_batch });
+            }
         }
         if batch.is_empty() {
             // Fast path: no degree updates, no forward pass — just the
@@ -376,6 +393,7 @@ impl<'a> InductiveServer<'a> {
         // Attachment rows and per-node mapping coverage. The batch's own
         // incremental rows are borrowed — only the mapping conversion (and
         // a firing `clear_rows` fallback) materialises a new matrix.
+        let attach_stage = mcond_obs::span_timed("attach", "serve.stage.attach");
         let (inc, coverage): (Cow<'_, Csr>, Vec<f32>) = match self.mapping {
             None => {
                 let cov: Vec<f32> = (0..batch.len())
@@ -410,11 +428,13 @@ impl<'a> InductiveServer<'a> {
         let uncovered: Vec<usize> = (0..batch.len())
             .filter(|&i| inc.row_cols(i).is_empty() || coverage[i] < self.coverage_threshold)
             .collect();
+        drop(attach_stage);
 
         let mut inc = inc;
         let mut fallback_nodes = 0u64;
         let mut use_original = false;
         if !uncovered.is_empty() {
+            let _stage = mcond_obs::span_timed("fallback", "serve.stage.fallback");
             match self.fallback {
                 FallbackPolicy::Reject => {
                     let node = uncovered[0];
@@ -457,6 +477,7 @@ impl<'a> InductiveServer<'a> {
         let fanout = inc.nnz();
         let mut bytes_saved = 0u64;
         let mut cache_hit = false;
+        let propagate_stage = mcond_obs::span_timed("propagate", "serve.stage.propagate");
         let out = match self.serve_mode {
             ServeMode::Extended => {
                 let ops = GraphOps::extended_with(base_adj, inc, inter, base_deg);
@@ -483,9 +504,20 @@ impl<'a> InductiveServer<'a> {
                 self.model.predict_split(&ops, base_features, &batch.features)
             }
         };
-        if !out.all_finite() {
-            return Err(ServeError::NonFiniteLogits);
+        drop(propagate_stage);
+        {
+            let _stage = mcond_obs::span_timed("head", "serve.stage.head");
+            if !out.all_finite() {
+                return Err(ServeError::NonFiniteLogits);
+            }
         }
+        // The serve span covers the serving computation — its stage spans
+        // decompose it (near-)completely. Request bookkeeping below (stats
+        // mutex, `serve.request` point, histogram records) is telemetry
+        // overhead, kept outside the span so it never pollutes the
+        // profile's stage coverage; `latency_us` still measures it via
+        // `start`.
+        drop(serve_span);
 
         if cache_hit {
             mcond_obs::counter_add("serve.cache.hits", 1);
@@ -594,8 +626,17 @@ impl<'a> InductiveServer<'a> {
             batches.iter().map(|_| Mutex::new(None)).collect();
         mcond_par::parallel_for_chunks(batches.len(), 1, |range| {
             for i in range {
+                // Per-request trace id, opened *outside* the unwind
+                // boundary so the panic handler (and its flight dump)
+                // still attributes to the request that died.
+                let _trace = mcond_obs::begin_trace();
                 let out = catch_unwind(AssertUnwindSafe(|| self.try_serve(&batches[i])))
                     .unwrap_or_else(|payload| {
+                        if mcond_obs::flight::active() {
+                            // Post-mortem: the last events on this thread,
+                            // trace-stamped, as one `flight` record.
+                            let _ = mcond_obs::flight::dump("serve.panic");
+                        }
                         mcond_obs::counter_add("serve.panic", 1);
                         let mut stats =
                             self.stats.lock().unwrap_or_else(PoisonError::into_inner);

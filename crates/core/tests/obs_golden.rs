@@ -140,3 +140,132 @@ fn condense_train_serve_emits_well_formed_jsonl() {
     assert_eq!(snap.counter("serve.requests"), 1);
     assert_eq!(snap.histogram("serve.latency_us").unwrap().count, 1);
 }
+
+/// Request-scoped tracing golden test: every request in a fan-out gets its
+/// own trace id, constant across all of that request's records; the serve
+/// span decomposes into stage spans nested under it whose durations sum to
+/// within the parent's duration; and turning tracing on does not perturb
+/// the math — logits stay bitwise identical at 1 and 4 threads.
+#[test]
+fn traces_and_stage_spans_decompose_serving() {
+    let cap = testing::capture();
+
+    let data = load_dataset("pubmed", Scale::Small, 0).expect("bundled dataset");
+    let model = GnnModel::new(GnnKind::Gcn, data.full.feature_dim(), 8, data.full.num_classes, 3);
+    let original = data.original_graph();
+    let server = InductiveServer::on_original(&original, &model);
+    let mut batches = data.test_batches(10, true);
+    batches.truncate(3);
+    assert!(batches.len() >= 2, "need a real fan-out");
+
+    let at_one = mcond_par::with_thread_limit(1, || server.try_serve_many(&batches));
+    cap.clear();
+    let at_four = mcond_par::with_thread_limit(4, || server.try_serve_many(&batches));
+    for (i, (a, b)) in at_one.iter().zip(&at_four).enumerate() {
+        let (a, b) = (a.as_ref().expect("serves at 1 thread"), b.as_ref().expect("at 4"));
+        assert_eq!(a.as_slice(), b.as_slice(), "slot {i}: logits drift with tracing on");
+    }
+
+    // --- Inspect the traced 4-thread run. ---------------------------------
+    let lines = cap.parsed_lines();
+    let kind = |l: &Json| get(l, "ev").and_then(Json::as_str).unwrap_or("").to_owned();
+    let name = |l: &Json| get(l, "name").and_then(Json::as_str).unwrap_or("").to_owned();
+    let trace_of = |l: &Json| get(l, "trace").and_then(Json::as_f64).unwrap_or(0.0);
+    let dur_of = |l: &Json| get(l, "us").and_then(Json::as_f64).unwrap_or(0.0);
+
+    let serves: Vec<&Json> =
+        lines.iter().filter(|l| kind(l) == "span" && name(l) == "serve").collect();
+    assert_eq!(serves.len(), batches.len(), "one serve span per request");
+
+    let mut seen = std::collections::BTreeSet::new();
+    for serve in &serves {
+        let trace = trace_of(serve);
+        assert!(trace > 0.0, "serve span missing its trace id: {serve:?}");
+        assert!(seen.insert(trace as u64), "trace id reused across requests");
+
+        let serve_path = get(serve, "path").and_then(Json::as_str).unwrap();
+        let in_request: Vec<&Json> =
+            lines.iter().filter(|l| (trace_of(l) - trace).abs() < 0.5).collect();
+
+        // Stage spans: exactly one of each, nested under this serve span,
+        // sharing the request's trace id.
+        let mut stage_sum = 0.0;
+        for stage in ["validate", "attach", "propagate", "head"] {
+            let spans: Vec<&&Json> = in_request
+                .iter()
+                .filter(|l| kind(l) == "span" && name(l) == stage)
+                .collect();
+            assert_eq!(spans.len(), 1, "stage {stage} for trace {trace}");
+            let path = get(spans[0], "path").and_then(Json::as_str).unwrap();
+            assert_eq!(
+                path,
+                format!("{serve_path}/{stage}"),
+                "stage {stage} not nested under its serve span"
+            );
+            stage_sum += dur_of(spans[0]);
+        }
+        // Stages are sequential inside the serve span; allow 1us per stage
+        // of truncation slop (durations round down independently).
+        assert!(
+            stage_sum <= dur_of(serve) + 4.0,
+            "stage durations {stage_sum}us exceed serve span {}us",
+            dur_of(serve)
+        );
+
+        // The request point carries the same id, so the JSONL log slices
+        // into per-request timelines on the trace key alone.
+        let points = in_request
+            .iter()
+            .filter(|l| kind(l) == "point" && name(l) == "serve.request")
+            .count();
+        assert_eq!(points, 1, "trace {trace}: serve.request point missing or duplicated");
+    }
+}
+
+/// A request that panics past validation leaves a post-mortem: with the
+/// flight recorder on, `try_serve_many` dumps the worker's event ring as a
+/// `flight` record stamped with the panicking request's trace id.
+#[test]
+fn panicking_request_dumps_a_trace_stamped_flight_record() {
+    let cap = testing::capture();
+
+    let data = load_dataset("pubmed", Scale::Small, 0).expect("bundled dataset");
+    // in_dim disagrees with the features: validation cannot see it, the
+    // matmul inside the forward pass panics (same shape as chaos_sweep).
+    let bad_model =
+        GnnModel::new(GnnKind::Gcn, data.full.feature_dim() + 1, 8, data.full.num_classes, 3);
+    let original = data.original_graph();
+    let server = InductiveServer::on_original(&original, &bad_model);
+    let batches = data.test_batches(10, true);
+
+    mcond_obs::flight::enable(true);
+    let results =
+        mcond_par::with_thread_limit(1, || server.try_serve_many(&batches[..1]));
+    mcond_obs::flight::enable(false);
+    assert!(matches!(results[0], Err(mcond_core::ServeError::Panicked { .. })));
+
+    let lines = cap.parsed_lines();
+    let dumps: Vec<&Json> = lines
+        .iter()
+        .filter(|l| {
+            get(l, "ev").and_then(Json::as_str) == Some("flight")
+                && get(l, "name").and_then(Json::as_str) == Some("serve.panic")
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "caught panic must dump the flight ring once");
+    let trace = get(dumps[0], "trace").and_then(Json::as_f64).unwrap_or(0.0);
+    assert!(trace > 0.0, "flight dump must name the request that died");
+
+    // The ring holds the dying request's own events — spans opened on the
+    // way into the forward pass, stamped with the same trace id.
+    let events = get(dumps[0], "events").and_then(Json::as_arr).expect("event payload");
+    assert!(!events.is_empty());
+    assert!(
+        events.iter().any(|e| {
+            e.get("trace").and_then(Json::as_f64) == Some(trace)
+                && e.get("name").and_then(Json::as_str) == Some("serve")
+        }),
+        "ring should show the panicking request entering its serve span"
+    );
+    mcond_obs::flight::clear();
+}

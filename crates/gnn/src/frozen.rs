@@ -57,6 +57,8 @@ impl FrozenBase {
     /// rows not matching it).
     #[must_use]
     pub fn new(model: &GnnModel, base_adj: &Csr, base_x: &DMat) -> Self {
+        let mut span = mcond_obs::span_timed("frozen_base.build", "serve.cache.build_us");
+        span.record("base_nodes", base_adj.rows());
         assert_eq!(base_adj.rows(), base_adj.cols(), "FrozenBase: base must be square");
         assert_eq!(base_x.rows(), base_adj.rows(), "FrozenBase: feature rows mismatch");
         let ops = GraphOps::from_adj(base_adj);

@@ -1,0 +1,134 @@
+//! Per-thread flight recorder: a bounded ring of the most recent events,
+//! dumped on demand — the serving layer dumps it when a caught panic turns
+//! into `ServeError::Panicked`, so every post-mortem shows the microseconds
+//! leading up to the crash with the panicking request's trace id attached.
+//!
+//! Recording is std-only and allocation-free after warm-up: the ring is
+//! preallocated to [`CAPACITY`] on a thread's first event, entries are
+//! `Copy` (`&'static str` names, integers), and overwrite in place once
+//! full. The off path is one relaxed atomic load, like every other probe.
+
+use crate::json::Json;
+use crate::sink::{elapsed_us, emit, flag_set, flags, Record, FLIGHT};
+use std::cell::RefCell;
+
+/// Events retained per thread.
+pub const CAPACITY: usize = 256;
+
+#[derive(Clone, Copy)]
+struct Event {
+    t_us: u64,
+    trace: u64,
+    kind: &'static str,
+    name: &'static str,
+    arg: u64,
+}
+
+struct Ring {
+    buf: Vec<Event>,
+    next: usize,
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring { buf: Vec::new(), next: 0 }) };
+}
+
+/// Switches the flight recorder on or off process-wide.
+pub fn enable(on: bool) {
+    flag_set(FLIGHT, on);
+}
+
+/// Whether the recorder is on (one atomic load).
+#[must_use]
+pub fn active() -> bool {
+    flags() & FLIGHT != 0
+}
+
+/// Records a free-form note event; no-op when the recorder is off.
+pub fn note(name: &'static str, arg: u64) {
+    if active() {
+        record("note", name, arg);
+    }
+}
+
+pub(crate) fn span_open(name: &'static str) {
+    if active() {
+        record("open", name, 0);
+    }
+}
+
+pub(crate) fn span_close(name: &'static str, dur_us: u64) {
+    if active() {
+        record("close", name, dur_us);
+    }
+}
+
+fn record(kind: &'static str, name: &'static str, arg: u64) {
+    let ev = Event { t_us: elapsed_us(), trace: crate::trace::current_trace(), kind, name, arg };
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        if r.buf.capacity() < CAPACITY {
+            // Warm-up: the only allocation this module ever performs.
+            let need = CAPACITY - r.buf.capacity();
+            r.buf.reserve_exact(need);
+        }
+        let next = r.next;
+        if r.buf.len() < CAPACITY {
+            r.buf.push(ev);
+        } else {
+            r.buf[next] = ev;
+        }
+        r.next = (next + 1) % CAPACITY;
+    });
+}
+
+/// Number of events currently retained on this thread.
+#[must_use]
+pub fn recorded() -> usize {
+    RING.with(|r| r.borrow().buf.len())
+}
+
+/// Discards this thread's retained events.
+pub fn clear() {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        r.buf.clear();
+        r.next = 0;
+    });
+}
+
+/// Dumps this thread's ring (oldest first) to the event log as a single
+/// `flight` record named `label`, and returns the dumped events as a JSON
+/// array (each `{t_us, trace, ev, name, arg}`) for in-process inspection.
+/// The record itself carries the current trace id, so a dump fired from a
+/// panic handler still points at the request that died.
+pub fn dump(label: &str) -> Json {
+    let events: Vec<Json> = RING.with(|r| {
+        let r = r.borrow();
+        let n = r.buf.len();
+        (0..n)
+            .map(|i| {
+                let idx = if n < CAPACITY { i } else { (r.next + i) % CAPACITY };
+                let e = &r.buf[idx];
+                Json::obj()
+                    .with("t_us", e.t_us)
+                    .with("trace", e.trace)
+                    .with("ev", e.kind)
+                    .with("name", e.name)
+                    .with("arg", e.arg)
+            })
+            .collect()
+    });
+    let payload = Json::Arr(events);
+    emit(&Record {
+        kind: "flight",
+        name: label,
+        path: None,
+        dur_us: None,
+        depth: 0,
+        trace: crate::trace::current_trace(),
+        fields: &[],
+        payload: Some(payload.clone()),
+    });
+    payload
+}

@@ -8,15 +8,28 @@
 //!
 //! # Model
 //!
-//! * **Spans** ([`span`], [`span_with`]) are RAII guards over a
-//!   thread-local stack; closing one emits a `span` record with its
-//!   wall-clock duration and slash-joined path.
+//! * **Spans** ([`span`], [`span_with`], [`span_timed`]) are RAII guards
+//!   over a thread-local stack; closing one emits a `span` record with its
+//!   wall-clock duration and slash-joined path. [`span_timed`] also feeds
+//!   a named histogram, and keeps timing even when only metrics are on.
+//! * **Traces** ([`begin_trace`], [`ensure_trace`]) stamp a request-scoped
+//!   id (the `trace` record field) onto every span/point emitted in scope;
+//!   [`capture_context`]/[`TraceContext::enter`] carry that id — and the
+//!   span path — across threads so pool workers attribute to the owning
+//!   request.
 //! * **Points** ([`point`]) are one-shot named measurements with structured
 //!   fields (losses per step, sparsification counts, …).
 //! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_record`])
-//!   aggregate in a global registry; [`snapshot`] freezes them into a
-//!   [`MetricsSnapshot`] for reports and [`emit_snapshot`] writes them to
-//!   the event log.
+//!   aggregate in a thread-sharded registry; [`snapshot`] merges the
+//!   shards into a [`MetricsSnapshot`] for reports and [`emit_snapshot`]
+//!   writes them to the event log.
+//! * **Profiler** ([`profile::start`], [`profile::stop`]) folds span
+//!   closes into a call-tree [`Profile`] (calls, total/self µs per path)
+//!   with text-table and folded-stack renderings; [`Profile::from_jsonl`]
+//!   does the same offline for any JSONL log.
+//! * **Flight recorder** ([`flight::enable`], [`flight::dump`]) keeps a
+//!   bounded per-thread ring of recent events (allocation-free after
+//!   warm-up) that the serving layer dumps when a request panics.
 //!
 //! # Sinks
 //!
@@ -52,6 +65,23 @@
 //!   `ServeMode::Extended`; the `fastpath_equivalence` test asserts it
 //!   equals `requests × N'×d×4` on the fast path.
 //!
+//! The serving stage timers decompose every request's latency into the
+//! paper's Eq. 11 pipeline, one histogram per stage (µs), recorded by
+//! `span_timed` under the `serve` span:
+//!
+//! * `serve.stage.validate` — structural batch validation + batch cap;
+//! * `serve.stage.attach` — incremental attachment build and coverage
+//!   check (Eq. 10's `aM` row assembly);
+//! * `serve.stage.fallback` — fallback-policy handling of under-covered
+//!   nodes (absent when every node is covered);
+//! * `serve.stage.propagate` — operator assembly + GNN forward
+//!   (Eq. 11's propagation over the extended graph);
+//! * `serve.stage.head` — output finalisation (finiteness audit).
+//!
+//! Span and point records carry a `trace` field (a process-unique positive
+//! integer) when emitted inside a request scope; `try_serve*` assigns one
+//! id per request, and pool workers inherit the submitter's id.
+//!
 //! Per-server snapshots additionally carry the `serve.latency_us`,
 //! `serve.fanout`, `serve.batch_size`, and `serve.coverage` histograms
 //! (coverage: fraction of each node's *absolute* incremental mass
@@ -70,15 +100,23 @@
 //! assert_eq!(lines.len(), 3); // span_start, point, span
 //! ```
 
+pub mod flight;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod sink;
 mod span;
+mod trace;
 
 pub use json::Json;
 pub use metrics::{
     counter_add, emit_snapshot, gauge_set, histogram_record, reset_metrics, snapshot, Histogram,
     HistogramSummary, MetricsSnapshot,
 };
+pub use profile::{Profile, ProfileEntry};
 pub use sink::{enable_metrics, enabled, metrics_on, point, testing, thread_id, Field, LogFormat};
-pub use span::{span, span_with, SpanGuard};
+pub use span::{span, span_timed, span_with, SpanGuard};
+pub use trace::{
+    begin_trace, capture_context, current_trace, ensure_trace, ContextGuard, TraceContext,
+    TraceGuard,
+};

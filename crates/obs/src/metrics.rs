@@ -1,16 +1,22 @@
-//! Named counters, gauges, and histograms with a process-global registry.
+//! Named counters, gauges, and histograms with a thread-sharded registry.
 //!
 //! Kernels report work here (`linalg.matmul.flops`, `sparse.spmm.nnz`, …)
 //! and serving paths record latency distributions. Recording is gated on
 //! [`crate::metrics_on`], so with no sink and no explicit opt-in every call
-//! is a single atomic load. [`snapshot`] freezes the registry into a
+//! is a single atomic load. When on, each thread accumulates into its own
+//! shard (an uncontended per-thread mutex), so 4 worker threads hammering
+//! `counter_add` never serialise on a global lock; [`snapshot`] merges the
+//! shards — counters sum, histograms [`Histogram::merge`] exactly, gauges
+//! resolve last-write-wins via a global write stamp — into a
 //! [`MetricsSnapshot`] that serialises to JSON — the unit the bench harness
 //! folds into its result dumps and `emit_snapshot` writes to the event log.
 
 use crate::json::Json;
 use crate::sink::{emit, enabled, metrics_on, Record};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A log-bucketed histogram of non-negative samples.
 ///
@@ -85,22 +91,35 @@ impl Histogram {
         }
     }
 
-    /// Estimated quantile (`q` in `[0, 1]`) from the bucket boundaries;
-    /// exact for min/max, within one power of two otherwise.
+    /// Estimated quantile (`q` in `[0, 1]`) with within-bucket linear
+    /// interpolation: the fractional rank is located inside its bucket and
+    /// the estimate interpolates between the bucket's bounds, assuming
+    /// samples spread uniformly within it. Clamped to the observed
+    /// `[min, max]`, so the tails never overshoot the data.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let rank = ((q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64).min(self.count - 1);
+        #[allow(clippy::cast_precision_loss)]
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let lo_rank = seen as f64;
             seen += n;
-            if seen > rank {
-                // Upper edge of bucket i, clamped to the observed range.
-                let edge = if i == 0 { 1.0 } else { 2f64.powi(i32::try_from(i).unwrap_or(i32::MAX)) };
-                return edge.clamp(self.min, self.max);
+            #[allow(clippy::cast_precision_loss)]
+            let hi_rank = seen as f64;
+            if rank < hi_rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Midpoint convention: the k-th of n samples in a bucket
+                // sits at fraction (k + 0.5) / n of the bucket's width.
+                #[allow(clippy::cast_precision_loss)]
+                let frac = ((rank - lo_rank) + 0.5) / n as f64;
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
             }
         }
         self.max
@@ -130,6 +149,16 @@ fn bucket_index(v: f64) -> usize {
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let idx = 1 + v.log2().floor() as usize;
         idx.min(128)
+    }
+}
+
+/// `[lo, hi)` value bounds of bucket `i` (inverse of [`bucket_index`]).
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 1.0)
+    } else {
+        let hi = 2f64.powi(i32::try_from(i).unwrap_or(i32::MAX));
+        (hi / 2.0, hi)
     }
 }
 
@@ -222,19 +251,43 @@ impl MetricsSnapshot {
     }
 }
 
+/// One thread's private accumulator. Gauges carry the global write stamp
+/// taken at set time so the merge can resolve last-write-wins across
+/// shards.
 #[derive(Default)]
-struct Registry {
+struct Shard {
     counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
+    gauges: BTreeMap<&'static str, (u64, f64)>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
-fn registry() -> MutexGuard<'static, Registry> {
-    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REGISTRY
-        .get_or_init(|| Mutex::new(Registry::default()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
+/// Monotonic stamp ordering gauge writes across shards.
+static GAUGE_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// Every live (and dead — shards outlive their thread) shard, for merging.
+fn shards() -> &'static Mutex<Vec<Arc<Mutex<Shard>>>> {
+    static SHARDS: OnceLock<Mutex<Vec<Arc<Mutex<Shard>>>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<Shard>>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` on the calling thread's shard, creating and registering it on
+/// first use. The per-shard mutex is uncontended except while a concurrent
+/// [`snapshot`]/[`reset_metrics`] briefly visits, so the hot path is one
+/// thread-local read plus one uncontended lock.
+fn with_local_shard(f: impl FnOnce(&mut Shard)) {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let arc = slot.get_or_insert_with(|| {
+            let arc = Arc::new(Mutex::new(Shard::default()));
+            shards().lock().unwrap_or_else(PoisonError::into_inner).push(Arc::clone(&arc));
+            arc
+        });
+        f(&mut arc.lock().unwrap_or_else(PoisonError::into_inner));
+    });
 }
 
 /// Adds `delta` to the named counter. No-op unless metrics are on.
@@ -242,15 +295,19 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !metrics_on() {
         return;
     }
-    *registry().counters.entry(name).or_insert(0) += delta;
+    with_local_shard(|s| *s.counters.entry(name).or_insert(0) += delta);
 }
 
-/// Sets the named gauge. No-op unless metrics are on.
+/// Sets the named gauge (last write across all threads wins). No-op unless
+/// metrics are on.
 pub fn gauge_set(name: &'static str, value: f64) {
     if !metrics_on() {
         return;
     }
-    registry().gauges.insert(name, value);
+    let stamp = GAUGE_STAMP.fetch_add(1, Ordering::Relaxed);
+    with_local_shard(|s| {
+        s.gauges.insert(name, (stamp, value));
+    });
 }
 
 /// Records a sample into the named histogram. No-op unless metrics are on.
@@ -258,26 +315,50 @@ pub fn histogram_record(name: &'static str, value: f64) {
     if !metrics_on() {
         return;
     }
-    registry().histograms.entry(name).or_default().record(value);
+    with_local_shard(|s| s.histograms.entry(name).or_default().record(value));
 }
 
-/// Freezes the global registry into a snapshot.
+/// Freezes the registry into a snapshot: counters sum across shards,
+/// histograms merge exactly, gauges keep the latest-stamped write.
 #[must_use]
 pub fn snapshot() -> MetricsSnapshot {
-    let reg = registry();
+    let shards: Vec<Arc<Mutex<Shard>>> =
+        shards().lock().unwrap_or_else(PoisonError::into_inner).clone();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    for shard in &shards {
+        let s = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        for (k, v) in &s.counters {
+            *counters.entry((*k).to_owned()).or_insert(0) += v;
+        }
+        for (k, &(stamp, value)) in &s.gauges {
+            let slot = gauges.entry((*k).to_owned()).or_insert((0, 0.0));
+            if stamp > slot.0 {
+                *slot = (stamp, value);
+            }
+        }
+        for (k, h) in &s.histograms {
+            histograms.entry((*k).to_owned()).or_default().merge(h);
+        }
+    }
     MetricsSnapshot {
-        counters: reg.counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
-        gauges: reg.gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
-        histograms: reg.histograms.iter().map(|(k, v)| ((*k).to_owned(), v.summary())).collect(),
+        counters: counters.into_iter().collect(),
+        gauges: gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+        histograms: histograms.into_iter().map(|(k, h)| (k, h.summary())).collect(),
     }
 }
 
-/// Clears every counter, gauge, and histogram.
+/// Clears every counter, gauge, and histogram in every shard.
 pub fn reset_metrics() {
-    let mut reg = registry();
-    reg.counters.clear();
-    reg.gauges.clear();
-    reg.histograms.clear();
+    let shards: Vec<Arc<Mutex<Shard>>> =
+        shards().lock().unwrap_or_else(PoisonError::into_inner).clone();
+    for shard in &shards {
+        let mut s = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        s.counters.clear();
+        s.gauges.clear();
+        s.histograms.clear();
+    }
 }
 
 /// Writes the current registry snapshot to the event log as a `metrics`
@@ -293,6 +374,7 @@ pub fn emit_snapshot(name: &str) {
         path: None,
         dur_us: None,
         depth: 0,
+        trace: crate::trace::current_trace(),
         fields: &[],
         payload: Some(snap.to_json()),
     });
@@ -354,6 +436,79 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.min, 3.25);
         assert_eq!(s.max, 7.5);
+    }
+
+    /// Deterministic xorshift64* (the obs crate is dependency-free, so the
+    /// accuracy tests carry their own generator).
+    struct Rng(u64);
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn uniform(&mut self) -> f64 {
+            #[allow(clippy::cast_precision_loss)]
+            let v = (self.next_u64() >> 11) as f64;
+            v / (1u64 << 53) as f64
+        }
+        /// Standard normal via Box–Muller.
+        fn normal(&mut self) -> f64 {
+            let u = self.uniform().max(f64::MIN_POSITIVE);
+            let v = self.uniform();
+            (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
+        }
+    }
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    fn assert_quantile_accuracy(samples: &[f64], tol: f64, label: &str) {
+        let mut h = Histogram::new();
+        let mut sorted = samples.to_vec();
+        for &v in samples {
+            h.record(v);
+        }
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact.abs().max(1e-12);
+            assert!(
+                rel <= tol,
+                "{label} q={q}: estimate {est} vs exact {exact} (rel err {rel:.3} > {tol})"
+            );
+        }
+    }
+
+    /// Within-bucket interpolation pins quantiles far tighter than the
+    /// factor-of-two bucket edges: uniform samples interpolate almost
+    /// exactly, log-normal samples (whose density bends inside a bucket)
+    /// stay well inside one bucket width.
+    #[test]
+    fn quantile_interpolation_is_accurate_on_uniform_and_lognormal() {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        let uniform: Vec<f64> = (0..20_000).map(|_| rng.uniform() * 1000.0).collect();
+        assert_quantile_accuracy(&uniform, 0.05, "uniform[0,1000)");
+
+        let mut rng = Rng(0xDEAD_BEEF_CAFE_F00D);
+        let lognormal: Vec<f64> = (0..20_000).map(|_| (3.0 + rng.normal()).exp()).collect();
+        assert_quantile_accuracy(&lognormal, 0.35, "lognormal(3,1)");
+    }
+
+    /// The tails never leave the observed range.
+    #[test]
+    fn quantile_extremes_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        for v in [3.0, 5.0, 100.0] {
+            h.record(v);
+        }
+        assert!(h.quantile(0.0) >= 3.0);
+        assert!(h.quantile(1.0) <= 100.0);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! In-process self-profiler: folds span close events into a call tree.
+//!
+//! [`start`] switches collection on (independent of any sink — the hot
+//! path stays one atomic load per span); [`stop`] switches it off and
+//! returns the folded [`Profile`]: per span path, the call count, total
+//! wall time, and *self* time (total minus the totals of direct children).
+//! The identical folding runs offline over any JSONL event log via
+//! [`Profile::from_jsonl`] — that is what the `trace-report` bin does.
+//!
+//! Rendered two ways: [`Profile::table`] (sorted text table, self-time
+//! descending) and [`Profile::folded`] (semicolon-separated folded-stack
+//! lines, the input format of the common flamegraph tooling).
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// path → (calls, total µs), accumulated live while profiling is on.
+type Totals = BTreeMap<String, (u64, u64)>;
+
+fn collector() -> MutexGuard<'static, Option<Totals>> {
+    static COLLECTOR: OnceLock<Mutex<Option<Totals>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(None)).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Starts (or restarts, discarding prior data) profile collection:
+/// spans closed anywhere in the process from now on fold into the profile.
+pub fn start() {
+    *collector() = Some(Totals::new());
+    crate::sink::flag_set(crate::sink::PROFILE, true);
+}
+
+/// Stops collection and returns the folded profile.
+#[must_use]
+pub fn stop() -> Profile {
+    crate::sink::flag_set(crate::sink::PROFILE, false);
+    Profile::from_totals(&collector().take().unwrap_or_default())
+}
+
+/// Folds one span close into the live profile; no-op (one atomic load)
+/// unless collection is on.
+pub(crate) fn fold(path: &str, dur_us: u64) {
+    if crate::sink::flags() & crate::sink::PROFILE == 0 {
+        return;
+    }
+    let mut guard = collector();
+    if let Some(map) = guard.as_mut() {
+        let entry = map.entry(path.to_owned()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += dur_us;
+    }
+}
+
+/// One folded call-tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Slash-joined span path.
+    pub path: String,
+    /// Number of closes observed at this path.
+    pub calls: u64,
+    /// Total wall time across calls, microseconds.
+    pub total_us: u64,
+    /// Total minus the totals of direct children, microseconds.
+    pub self_us: u64,
+}
+
+/// A folded call-tree profile; entries sorted by descending self time.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    entries: Vec<ProfileEntry>,
+}
+
+impl Profile {
+    fn from_totals(map: &Totals) -> Profile {
+        let mut child_totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for (path, (_, total)) in map {
+            if let Some((parent, _)) = path.rsplit_once('/') {
+                *child_totals.entry(parent).or_insert(0) += *total;
+            }
+        }
+        let mut entries: Vec<ProfileEntry> = map
+            .iter()
+            .map(|(path, &(calls, total_us))| ProfileEntry {
+                self_us: total_us
+                    .saturating_sub(child_totals.get(path.as_str()).copied().unwrap_or(0)),
+                path: path.clone(),
+                calls,
+                total_us,
+            })
+            .collect();
+        entries.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+        Profile { entries }
+    }
+
+    /// Rebuilds a profile offline from a JSONL event log: every `span`
+    /// record's `path`/`us` pair folds exactly like live collection.
+    /// Non-JSON lines and other record kinds are skipped.
+    #[must_use]
+    pub fn from_jsonl(text: &str) -> Profile {
+        let mut map = Totals::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(j) = Json::parse(line) else { continue };
+            if j.get("ev").and_then(Json::as_str) != Some("span") {
+                continue;
+            }
+            let Some(path) = j.get("path").and_then(Json::as_str) else { continue };
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let us = j.get("us").and_then(Json::as_f64).unwrap_or(0.0).max(0.0) as u64;
+            let entry = map.entry(path.to_owned()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += us;
+        }
+        Profile::from_totals(&map)
+    }
+
+    /// Entries sorted by descending self time.
+    #[must_use]
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Looks up one exact path.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted text table (self-time descending), one row per path.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = format!("{:>9}  {:>12}  {:>12}  path\n", "calls", "total_ms", "self_ms");
+        #[allow(clippy::cast_precision_loss)]
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:>9}  {:>12.3}  {:>12.3}  {}\n",
+                e.calls,
+                e.total_us as f64 / 1000.0,
+                e.self_us as f64 / 1000.0,
+                e.path
+            ));
+        }
+        out
+    }
+
+    /// Folded-stack lines (`root;child;leaf self_us`), the flamegraph
+    /// input format, sorted lexicographically.
+    #[must_use]
+    pub fn folded(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| format!("{} {}", e.path.replace('/', ";"), e.self_us))
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}

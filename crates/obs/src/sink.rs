@@ -17,7 +17,7 @@
 
 use crate::json::Json;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
@@ -101,7 +101,7 @@ impl From<String> for Field {
 
 /// One trace record, built by the span/point/metrics front-ends.
 pub(crate) struct Record<'a> {
-    /// Event kind: `span_start`, `span`, `point`, or `metrics`.
+    /// Event kind: `span_start`, `span`, `point`, `flight`, or `metrics`.
     pub kind: &'static str,
     /// Event name (e.g. `condense.outer`).
     pub name: &'a str,
@@ -111,9 +111,11 @@ pub(crate) struct Record<'a> {
     pub dur_us: Option<u64>,
     /// Span-stack depth at emission (pretty indentation).
     pub depth: usize,
+    /// Request-scoped trace id (0 = outside any trace).
+    pub trace: u64,
     /// Structured fields.
     pub fields: &'a [(&'a str, Field)],
-    /// Extra payload (metrics snapshots).
+    /// Extra payload (metrics snapshots, flight dumps).
     pub payload: Option<Json>,
 }
 
@@ -122,8 +124,15 @@ struct SinkState {
     writer: Box<dyn Write + Send>,
 }
 
-static EVENTS_ON: AtomicBool = AtomicBool::new(false);
-static METRICS_FORCED: AtomicBool = AtomicBool::new(false);
+/// Activation bits, all read through one relaxed load of [`ACTIVE`]: every
+/// probe in the workspace stays a single atomic load + branch when the
+/// whole substrate is off.
+pub(crate) const EVENTS: u32 = 1 << 0;
+pub(crate) const METRICS_FORCED: u32 = 1 << 1;
+pub(crate) const PROFILE: u32 = 1 << 2;
+pub(crate) const FLIGHT: u32 = 1 << 3;
+
+static ACTIVE: AtomicU32 = AtomicU32::new(0);
 static INIT_DONE: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
@@ -181,7 +190,26 @@ fn init_from_env() {
     };
     *lock_sink() = Some(SinkState { format, writer });
     start_instant();
-    EVENTS_ON.store(true, Ordering::Release);
+    flag_set(EVENTS, true);
+}
+
+/// The current activation bitmask (reads the environment on first use;
+/// later calls are one relaxed atomic load).
+#[inline]
+pub(crate) fn flags() -> u32 {
+    if !INIT_DONE.load(Ordering::Acquire) {
+        init_from_env();
+    }
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Sets or clears one activation bit.
+pub(crate) fn flag_set(bit: u32, on: bool) {
+    if on {
+        ACTIVE.fetch_or(bit, Ordering::Release);
+    } else {
+        ACTIVE.fetch_and(!bit, Ordering::Release);
+    }
 }
 
 /// Whether an event sink is active (env-configured or test-installed).
@@ -190,10 +218,17 @@ fn init_from_env() {
 #[inline]
 #[must_use]
 pub fn enabled() -> bool {
-    if !INIT_DONE.load(Ordering::Acquire) {
-        init_from_env();
-    }
-    EVENTS_ON.load(Ordering::Relaxed)
+    flags() & EVENTS != 0
+}
+
+/// Whether spans must track the thread-local stack and measure time: true
+/// when any consumer of span events is active — the sink, the in-process
+/// profiler ([`crate::profile`]), or the flight recorder
+/// ([`crate::flight`]).
+#[inline]
+#[must_use]
+pub fn span_active() -> bool {
+    flags() & (EVENTS | PROFILE | FLIGHT) != 0
 }
 
 /// Whether metric recording (counters/gauges/histograms) is active: true
@@ -201,14 +236,14 @@ pub fn enabled() -> bool {
 #[inline]
 #[must_use]
 pub fn metrics_on() -> bool {
-    enabled() || METRICS_FORCED.load(Ordering::Relaxed)
+    flags() & (EVENTS | METRICS_FORCED) != 0
 }
 
 /// Turns on metric aggregation without any event sink — used by the bench
 /// harness to collect kernel counters into reports while keeping event
 /// logging off.
 pub fn enable_metrics() {
-    METRICS_FORCED.store(true, Ordering::Relaxed);
+    flag_set(METRICS_FORCED, true);
 }
 
 /// Emits a free-standing point event (a named measurement with fields).
@@ -223,6 +258,7 @@ pub fn point(name: &str, fields: &[(&str, Field)]) {
         path: None,
         dur_us: None,
         depth: crate::span::current_depth(),
+        trace: crate::trace::current_trace(),
         fields,
         payload: None,
     });
@@ -254,6 +290,9 @@ fn jsonl_line(record: &Record<'_>) -> String {
     if let Some(us) = record.dur_us {
         obj.insert("us", us);
     }
+    if record.trace != 0 {
+        obj.insert("trace", record.trace);
+    }
     if !record.fields.is_empty() {
         let mut fields = Json::obj();
         for (k, v) in record.fields {
@@ -262,7 +301,9 @@ fn jsonl_line(record: &Record<'_>) -> String {
         obj.insert("fields", fields);
     }
     if let Some(payload) = &record.payload {
-        obj.insert("metrics", payload.clone());
+        // Flight dumps carry an event array; metrics records a snapshot.
+        let key = if record.kind == "flight" { "events" } else { "metrics" };
+        obj.insert(key, payload.clone());
     }
     obj.dump()
 }
@@ -284,6 +325,9 @@ fn pretty_line(record: &Record<'_>) -> String {
     if let Some(us) = record.dur_us {
         line.push_str(&format!(" ({:.3}ms)", us as f64 / 1000.0));
     }
+    if record.trace != 0 {
+        line.push_str(&format!(" trace={}", record.trace));
+    }
     for (k, v) in record.fields {
         line.push_str(&format!(" {k}={}", v.pretty()));
     }
@@ -293,15 +337,15 @@ fn pretty_line(record: &Record<'_>) -> String {
     line
 }
 
-fn elapsed_us() -> u64 {
+pub(crate) fn elapsed_us() -> u64 {
     u64::try_from(start_instant().elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Test support: capture events in memory and inspect them as parsed JSONL.
 pub mod testing {
     use super::{
-        lock_sink, AtomicBool, EVENTS_ON, INIT_DONE, LogFormat, Mutex, MutexGuard, Ordering,
-        PoisonError, SinkState, Write,
+        flag_set, lock_sink, AtomicBool, ACTIVE, EVENTS, INIT_DONE, LogFormat, Mutex, MutexGuard,
+        Ordering, PoisonError, SinkState, Write,
     };
     use crate::json::Json;
     use std::sync::{Arc, OnceLock};
@@ -339,11 +383,11 @@ pub mod testing {
         let guard = capture_lock().lock().unwrap_or_else(PoisonError::into_inner);
         // Skip env config entirely: the capture sink takes over.
         INIT_DONE.store(true, Ordering::Release);
-        let was_enabled = EVENTS_ON.load(Ordering::Relaxed);
+        let was_enabled = ACTIVE.load(Ordering::Relaxed) & EVENTS != 0;
         let buf = Arc::new(Mutex::new(Vec::new()));
         *lock_sink() =
             Some(SinkState { format: LogFormat::Jsonl, writer: Box::new(SharedBuf(Arc::clone(&buf))) });
-        EVENTS_ON.store(true, Ordering::Release);
+        flag_set(EVENTS, true);
         Capture { buf, was_enabled, _guard: guard }
     }
 
@@ -377,7 +421,7 @@ pub mod testing {
 
     impl Drop for Capture {
         fn drop(&mut self) {
-            EVENTS_ON.store(self.was_enabled, Ordering::Release);
+            flag_set(EVENTS, self.was_enabled);
             *lock_sink() = None;
         }
     }

@@ -169,6 +169,240 @@ fn points_carry_fields_and_thread_ids() {
     assert!(lines[0].get("t_us").is_some());
 }
 
+/// Regression for the span-stack leak across panic isolation: a guard
+/// that never drops (forgotten here, but the same shape as a panic racing
+/// a guard's construction) leaves its name on the stack; the enclosing
+/// guard must truncate back to its own depth so later spans on the thread
+/// report clean paths.
+#[test]
+fn span_stack_heals_after_a_panic_under_catch_unwind() {
+    let cap = testing::capture();
+    {
+        let _outer = mcond_obs::span("leak_outer");
+        let result = std::panic::catch_unwind(|| {
+            let _inner = mcond_obs::span("leak_inner");
+            let deeper = mcond_obs::span("leak_deeper");
+            std::mem::forget(deeper); // leaked: its pop never runs
+            panic!("boom inside span");
+        });
+        assert!(result.is_err());
+        let _next = mcond_obs::span("leak_next");
+    }
+    let all = cap.parsed_lines();
+    let next_end: Vec<_> = named(&all, &["leak_next"])
+        .into_iter()
+        .filter(|l| kind_of(l) == "span")
+        .collect();
+    assert_eq!(
+        next_end[0].get("path").and_then(Json::as_str),
+        Some("leak_outer/leak_next"),
+        "leaked span corrupted the next span's path"
+    );
+    // The guard that unwound healed the stack and closed with its own path.
+    let inner_end: Vec<_> = named(&all, &["leak_inner"])
+        .into_iter()
+        .filter(|l| kind_of(l) == "span")
+        .collect();
+    assert_eq!(inner_end[0].get("path").and_then(Json::as_str), Some("leak_outer/leak_inner"));
+    let outer_end: Vec<_> = named(&all, &["leak_outer"])
+        .into_iter()
+        .filter(|l| kind_of(l) == "span")
+        .collect();
+    assert_eq!(outer_end[0].get("path").and_then(Json::as_str), Some("leak_outer"));
+}
+
+#[test]
+fn trace_ids_stamp_records_and_scope_correctly() {
+    let cap = testing::capture();
+    assert_eq!(mcond_obs::current_trace(), 0);
+    let first_id = {
+        let t = mcond_obs::begin_trace();
+        assert!(t.id() > 0);
+        assert_eq!(mcond_obs::current_trace(), t.id());
+        // ensure_trace keeps the active trace rather than replacing it.
+        let kept = mcond_obs::ensure_trace();
+        assert_eq!(kept.id(), t.id());
+        drop(kept);
+        assert_eq!(mcond_obs::current_trace(), t.id());
+        let _s = mcond_obs::span("trace_span_a");
+        mcond_obs::point("trace_point_a", &[]);
+        t.id()
+    };
+    assert_eq!(mcond_obs::current_trace(), 0, "guard restores the no-trace state");
+    let second_id = {
+        let t = mcond_obs::begin_trace();
+        let _s = mcond_obs::span("trace_span_b");
+        t.id()
+    };
+    assert!(second_id > first_id, "trace ids are monotonically increasing");
+    mcond_obs::point("trace_point_none", &[]);
+
+    let all = cap.parsed_lines();
+    #[allow(clippy::cast_precision_loss)]
+    for l in named(&all, &["trace_span_a", "trace_point_a"]) {
+        assert_eq!(l.get("trace").and_then(Json::as_f64), Some(first_id as f64));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    for l in named(&all, &["trace_span_b"]) {
+        assert_eq!(l.get("trace").and_then(Json::as_f64), Some(second_id as f64));
+    }
+    // Records outside any trace omit the key entirely.
+    for l in named(&all, &["trace_point_none"]) {
+        assert_eq!(l.get("trace"), None);
+    }
+}
+
+#[test]
+fn trace_context_attributes_worker_spans_to_the_request() {
+    let cap = testing::capture();
+    let trace_id = {
+        let t = mcond_obs::begin_trace();
+        let _req = mcond_obs::span("ctx_request");
+        let ctx = mcond_obs::capture_context();
+        let worker = std::thread::spawn(move || {
+            let _g = ctx.enter();
+            let _k = mcond_obs::span("ctx_kernel");
+        });
+        worker.join().unwrap();
+        // After the worker, this thread's own state is untouched.
+        let _local = mcond_obs::span("ctx_local");
+        t.id()
+    };
+    let all = cap.parsed_lines();
+    let kernel: Vec<_> = named(&all, &["ctx_kernel"])
+        .into_iter()
+        .filter(|l| kind_of(l) == "span")
+        .collect();
+    assert_eq!(kernel.len(), 1);
+    assert_eq!(
+        kernel[0].get("path").and_then(Json::as_str),
+        Some("ctx_request/ctx_kernel"),
+        "worker span must splice under the submitting request's path"
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let expected = Some(trace_id as f64);
+    assert_eq!(kernel[0].get("trace").and_then(Json::as_f64), expected);
+    let local: Vec<_> = named(&all, &["ctx_local"])
+        .into_iter()
+        .filter(|l| kind_of(l) == "span")
+        .collect();
+    assert_eq!(local[0].get("path").and_then(Json::as_str), Some("ctx_request/ctx_local"));
+}
+
+#[test]
+fn flight_recorder_keeps_a_bounded_trace_stamped_ring() {
+    use mcond_obs::flight;
+    let cap = testing::capture();
+    flight::clear();
+    flight::enable(true);
+    let trace_id = {
+        let t = mcond_obs::begin_trace();
+        for i in 0..(flight::CAPACITY + 50) {
+            flight::note("flight_evt", i as u64);
+        }
+        assert_eq!(flight::recorded(), flight::CAPACITY, "ring is bounded");
+        t.id()
+    };
+    let dumped = flight::dump("flight_dump_unit");
+    flight::enable(false);
+    let events = dumped.as_arr().expect("dump returns the event array");
+    assert_eq!(events.len(), flight::CAPACITY);
+    // Oldest-first: the last event is the newest note.
+    let last = events.last().unwrap();
+    #[allow(clippy::cast_precision_loss)]
+    {
+        assert_eq!(last.get("arg").and_then(Json::as_f64), Some((flight::CAPACITY + 49) as f64));
+        assert_eq!(last.get("trace").and_then(Json::as_f64), Some(trace_id as f64));
+    }
+    // The emitted record parses back with the same payload.
+    let all = cap.parsed_lines();
+    let dumps = named(&all, &["flight_dump_unit"]);
+    assert_eq!(dumps.len(), 1);
+    assert_eq!(kind_of(dumps[0]), "flight");
+    assert_eq!(
+        dumps[0].get("events").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(flight::CAPACITY)
+    );
+    flight::clear();
+}
+
+#[test]
+fn profiler_folds_spans_into_a_call_tree() {
+    let cap = testing::capture();
+    mcond_obs::profile::start();
+    for _ in 0..3 {
+        let _root = mcond_obs::span("prof_root");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _leaf = mcond_obs::span("prof_leaf");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let profile = mcond_obs::profile::stop();
+    let root = profile.get("prof_root").expect("root profiled");
+    let leaf = profile.get("prof_root/prof_leaf").expect("leaf profiled");
+    assert_eq!((root.calls, leaf.calls), (3, 3));
+    assert!(root.total_us >= leaf.total_us);
+    // Self time = total minus direct children; leaves keep everything.
+    assert_eq!(root.self_us, root.total_us - leaf.total_us);
+    assert_eq!(leaf.self_us, leaf.total_us);
+    assert!(root.self_us >= 3 * 2_000, "root self time covers its sleeps");
+    // Both renderings mention the nested path.
+    assert!(profile.folded().contains("prof_root;prof_leaf "));
+    assert!(profile.table().contains("prof_root/prof_leaf"));
+    // Entries are sorted by descending self time.
+    let selfs: Vec<u64> = profile.entries().iter().map(|e| e.self_us).collect();
+    assert!(selfs.windows(2).all(|w| w[0] >= w[1]));
+    // Offline folding over the captured JSONL agrees on the call tree.
+    let offline = mcond_obs::Profile::from_jsonl(&cap.text());
+    assert_eq!(offline.get("prof_root").unwrap().calls, 3);
+    assert_eq!(offline.get("prof_root/prof_leaf").unwrap().calls, 3);
+}
+
+/// The sharded registry must resolve concurrent gauge writes to the
+/// globally last write, not an arbitrary shard's value.
+#[test]
+fn gauges_resolve_last_write_wins_across_shards() {
+    let _cap = testing::capture();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let b = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                b.wait();
+                mcond_obs::gauge_set("test.lww", f64::from(i));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // This write happens after every thread joined: it is globally last
+    // and must win over every other shard's entry.
+    mcond_obs::gauge_set("test.lww", 42.0);
+    let snap = mcond_obs::snapshot();
+    assert!(
+        snap.gauges.contains(&("test.lww".to_owned(), 42.0)),
+        "stale shard won: {:?}",
+        snap.gauges
+    );
+}
+
+#[test]
+fn span_timed_feeds_its_histogram_and_emits_a_span() {
+    let cap = testing::capture();
+    {
+        let _t = mcond_obs::span_timed("timed_unit", "test.timed_unit_us");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let snap = mcond_obs::snapshot();
+    let h = snap.histogram("test.timed_unit_us").expect("histogram fed on close");
+    assert_eq!(h.count, 1);
+    assert!(h.max >= 1_000.0, "measured {}us", h.max);
+    let all = cap.parsed_lines();
+    let ends =
+        named(&all, &["timed_unit"]).into_iter().filter(|l| kind_of(l) == "span").count();
+    assert_eq!(ends, 1, "span_timed is a real span while events are on");
+}
+
 #[test]
 fn capture_session_only_sees_its_own_window() {
     // Events emitted before a capture opens never appear in it.

@@ -40,6 +40,9 @@ struct Batch {
     /// all uses.
     body: *const Body,
     ranges: Vec<Range<usize>>,
+    /// Submitter's trace id + span path, entered by workers while they
+    /// drain this batch so their spans attribute to the owning request.
+    ctx: mcond_obs::TraceContext,
     /// Next unclaimed task index.
     next: AtomicUsize,
     /// Finished task count; the task that completes the batch flips `done`.
@@ -190,6 +193,9 @@ fn worker_loop() {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // Attribute everything this batch does to the submitting request
+        // (no-op context when tracing was off at submission).
+        let _ctx = batch.ctx.enter();
         batch.drain();
     }
 }
@@ -229,6 +235,8 @@ fn run_batch(ranges: Vec<Range<usize>>, participants: usize, body: &(dyn Fn(Rang
     let batch = Arc::new(Batch {
         body: body_erased,
         ranges,
+        // The submitting thread keeps its own stack; only workers enter.
+        ctx: mcond_obs::capture_context(),
         next: AtomicUsize::new(0),
         completed: AtomicUsize::new(0),
         panic_payload: Mutex::new(None),

@@ -1,5 +1,8 @@
 //! Fault-tolerant serving: typed errors, per-request panic isolation,
-//! fallback policies, and the request-level chaos harness (DESIGN.md §4f).
+//! fallback policies, and the request-level chaos harness (DESIGN.md §4f),
+//! plus the observability layer watching it all (DESIGN.md §4h): the
+//! self-profiler decomposing the serve path into its stage spans, and the
+//! panic flight recorder producing a trace-stamped post-mortem.
 //!
 //! Condenses a small graph, then attacks the resulting [`InductiveServer`]
 //! with every corrupted batch from `mcond::core::chaos` — on **both**
@@ -10,6 +13,8 @@
 //!
 //! ```sh
 //! cargo run --release --example robust_serving
+//! # with a JSONL trace for offline analysis (see trace-report):
+//! MCOND_LOG=target/robust_serving_trace.jsonl cargo run --release --example robust_serving
 //! ```
 
 use mcond::core::chaos::corrupted_batches;
@@ -84,6 +89,78 @@ fn main() {
         );
     }
     println!("  valid logits bitwise identical at 1 and 4 threads");
+
+    // --- self-profile: the serve path decomposes into its stages ---------
+    // The profiler folds span closes into a call tree; the stage spans
+    // (validate / attach / propagate / head, plus fallback when it fires)
+    // must account for >= 90% of the serve span's wall time — anything
+    // less means untraced work crept into the hot path.
+    mcond::obs::profile::start();
+    {
+        // Profile against the in-memory sink: with `MCOND_LOG` pointed at a
+        // file, per-record write latency would otherwise be charged to the
+        // serve span's self time and drown the stages it decomposes into.
+        let _sink = mcond::obs::testing::capture();
+        for batch in &data.test_batches(50, true) {
+            let _ = on_original.try_serve(batch);
+        }
+    }
+    let profile = mcond::obs::profile::stop();
+    print!("{}", profile.table());
+    let serve = profile.get("serve").expect("serve span profiled");
+    let stage_self: u64 = ["validate", "attach", "fallback", "propagate", "head"]
+        .iter()
+        .filter_map(|s| profile.get(&format!("serve/{s}")))
+        .map(|e| e.self_us)
+        .sum();
+    assert!(
+        stage_self * 10 >= serve.total_us * 9,
+        "stage spans cover only {stage_self}us of the {}us serve path",
+        serve.total_us
+    );
+    println!(
+        "  self-profile: stages cover {stage_self}us / {}us of serve ({:.1}%)",
+        serve.total_us,
+        100.0 * stage_self as f64 / serve.total_us.max(1) as f64
+    );
+
+    // --- panic flight recorder -------------------------------------------
+    // A model misconfigured for the feature dimension blows up inside the
+    // forward pass, past validation. With the flight recorder on, the
+    // caught panic dumps the last events on the dying request's thread as
+    // one `flight` record stamped with that request's trace id.
+    {
+        use mcond::obs::Json;
+        let cap = mcond::obs::testing::capture();
+        mcond::obs::flight::enable(true);
+        let bad_model = GnnModel::new(
+            GnnKind::Gcn,
+            data.full.feature_dim() + 1,
+            8,
+            data.full.num_classes,
+            1,
+        );
+        let bad = InductiveServer::on_original(&original, &bad_model);
+        let results = mcond::par::with_thread_limit(1, || {
+            bad.try_serve_many(std::slice::from_ref(&donor))
+        });
+        mcond::obs::flight::enable(false);
+        assert!(
+            matches!(results[0], Err(ServeError::Panicked { .. })),
+            "misconfigured model should panic past validation"
+        );
+        let dump = cap
+            .parsed_lines()
+            .into_iter()
+            .find(|l| l.get("ev").and_then(Json::as_str) == Some("flight"))
+            .expect("caught panic must dump the flight ring");
+        let trace = dump.get("trace").and_then(Json::as_f64).unwrap_or(0.0);
+        let events = dump.get("events").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+        assert!(trace > 0.0, "flight dump must carry the dying request's trace id");
+        assert!(events > 0, "flight dump must carry the pre-panic events");
+        mcond::obs::flight::clear();
+        println!("  flight recorder: panic dumped {events} events for trace {trace:.0}");
+    }
 
     // --- fallback policies ----------------------------------------------
     // A brutally sparsified mapping leaves some inductive nodes with an

@@ -60,6 +60,7 @@ pub use mcond_core as core;
 pub use mcond_gnn as gnn;
 pub use mcond_graph as graph;
 pub use mcond_linalg as linalg;
+pub use mcond_obs as obs;
 pub use mcond_propagate as propagate;
 pub use mcond_par as par;
 pub use mcond_sparse as sparse;
