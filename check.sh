@@ -15,6 +15,7 @@ for cmd in \
     "cargo run --release --example inference_acceleration" \
     "cargo bench -p mcond-bench --bench serve_fastpath" \
     "cargo bench -p mcond-bench --bench obs" \
+    "cargo bench -p mcond-bench --bench kernels_simd" \
     "cargo run --release -p mcond-bench --bin trace-report -- target/robust_serving_trace.jsonl"
 do
     if ! grep -q "run: $cmd\$" "$WORKFLOW"; then
@@ -24,10 +25,15 @@ do
     fi
 done
 
-# The 4-thread test pass exists in CI too; its command is the same
-# `cargo test --workspace` line, so guard on the env stanza instead.
+# The 4-thread and scalar-kernel test passes exist in CI too; their
+# commands are the same `cargo test --workspace` line, so guard on the
+# env stanzas instead.
 if ! grep -q 'MCOND_THREADS: "4"' "$WORKFLOW"; then
     echo "DRIFT: $WORKFLOW is missing the MCOND_THREADS=4 test pass." >&2
+    exit 1
+fi
+if ! grep -q 'MCOND_SIMD: "0"' "$WORKFLOW"; then
+    echo "DRIFT: $WORKFLOW is missing the MCOND_SIMD=0 test pass." >&2
     exit 1
 fi
 
@@ -35,6 +41,10 @@ cargo fmt --all --check 2>/dev/null || echo "note: rustfmt not enforced (formatt
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
 MCOND_THREADS=4 cargo test --workspace
+# Third pass with the SIMD tiers disabled: the scalar reference kernels
+# must stay correct on their own (they are the MCOND_SIMD escape hatch and
+# the baseline every lane tier is tested against).
+MCOND_SIMD=0 cargo test --workspace
 cargo bench --workspace --no-run
 # Checkpoint round-trip smoke: condense → save → restore → serve, bitwise
 # verified inside the example (also exercises a corrupted-file rejection).
@@ -54,6 +64,9 @@ MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench
 # Observability overhead smoke: sink-off vs sharded-registry vs full
 # tracing at 1 and 4 threads; regenerates results/BENCH_obs_overhead.json.
 MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench obs
+# SIMD tier sweep smoke: every available MCOND_SIMD level of the dense and
+# sparse kernels; regenerates results/BENCH_kernels_simd.json.
+MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench kernels_simd
 # Offline trace tooling smoke: fold the robust_serving JSONL trace into a
 # call-tree profile (fails if the log is missing or span-free).
 cargo run --release -p mcond-bench --bin trace-report -- target/robust_serving_trace.jsonl

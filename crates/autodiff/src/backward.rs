@@ -1,4 +1,12 @@
 //! The reverse sweep.
+//!
+//! Gradient kernels inherit the forward kernels' determinism contracts:
+//! every adjoint is computed with the same `matmul`/`spmm` family the
+//! forward pass uses, so gradients are bitwise invariant across
+//! `MCOND_THREADS` at a fixed `MCOND_SIMD` level. Across SIMD levels the
+//! *sparse* adjoints (`spmm_t`) are bitwise identical too, while the dense
+//! matmul adjoints may differ in the last ulps when the FMA tiers regroup
+//! additions — training runs that must be replayed exactly pin the level.
 
 use crate::tape::{Op, Tape, Var};
 use mcond_linalg::{sigmoid_scalar, DMat};

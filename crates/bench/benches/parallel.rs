@@ -1,11 +1,15 @@
 //! Serial-vs-parallel speedup of the `mcond-par` fan-out paths: dense GEMM,
 //! CSR SpMM on an SBM graph, and concurrent batch serving. Each kernel runs
-//! once under `with_thread_limit(1)` (forced-serial baseline) and once at the
-//! session's full thread budget; the report records both timings and their
-//! ratio so later PRs have a perf baseline to regress against.
+//! once under `with_thread_limit(1)` (forced-serial baseline) and once under
+//! `with_thread_limit(4)` — forced explicitly, because the ambient default
+//! is serial unless `MCOND_THREADS` is exported, and an earlier version of
+//! this bench silently timed the serial path twice. The report records both
+//! timings and their ratio so later PRs have a perf baseline to regress
+//! against.
 //!
-//! On a single-core machine the speedup rows simply record ~1.0 — the bench
-//! never fails on thread availability.
+//! On a single-core machine the 4-thread rows still run (the pool
+//! oversubscribes) and the speedup simply records ~1.0 — the bench never
+//! fails on thread availability.
 //!
 //! Output: `results/BENCH_parallel.json` (plus the usual `MCOND_BENCH_JSON`
 //! dump of the raw measurements when that variable is set).
@@ -21,6 +25,10 @@ use mcond_sparse::sym_normalize;
 const SERIAL: &str = "serial";
 const PARALLEL: &str = "parallel";
 
+/// Thread count of the parallel arm. Pinned (not `max_threads()`) so the
+/// recorded rows mean the same thing on every machine.
+const PAR_THREADS: usize = 4;
+
 fn bench_matmul(bench: &mut Bench) {
     let mut rng = MatRng::seed_from(1);
     let a = rng.uniform(512, 512, -1.0, 1.0);
@@ -28,7 +36,9 @@ fn bench_matmul(bench: &mut Bench) {
     bench.run(&format!("matmul/512/{SERIAL}"), || {
         mcond_par::with_thread_limit(1, || black_box(a.matmul(&b)))
     });
-    bench.run(&format!("matmul/512/{PARALLEL}"), || black_box(a.matmul(&b)));
+    bench.run(&format!("matmul/512/{PARALLEL}"), || {
+        mcond_par::with_thread_limit(PAR_THREADS, || black_box(a.matmul(&b)))
+    });
 }
 
 fn bench_spmm(bench: &mut Bench) {
@@ -43,7 +53,7 @@ fn bench_spmm(bench: &mut Bench) {
         mcond_par::with_thread_limit(1, || black_box(ahat.spmm(&graph.features)))
     });
     bench.run(&format!("spmm/sbm8000/{PARALLEL}"), || {
-        black_box(ahat.spmm(&graph.features))
+        mcond_par::with_thread_limit(PAR_THREADS, || black_box(ahat.spmm(&graph.features)))
     });
 }
 
@@ -58,7 +68,7 @@ fn bench_serve_many(bench: &mut Bench) {
         mcond_par::with_thread_limit(1, || black_box(server.serve_many(&batches)))
     });
     bench.run(&format!("serve_many/pubmed/{PARALLEL}"), || {
-        black_box(server.serve_many(&batches))
+        mcond_par::with_thread_limit(PAR_THREADS, || black_box(server.serve_many(&batches)))
     });
 }
 
@@ -80,7 +90,8 @@ fn speedup_report(bench: &Bench) -> TableReport {
         report.push(
             Row::new()
                 .key("kernel", kernel)
-                .key("threads", mcond_par::max_threads())
+                .key("serial_threads", 1)
+                .key("parallel_threads", PAR_THREADS)
                 .metric("serial_median_ns", serial)
                 .metric("parallel_median_ns", parallel)
                 .metric("speedup", serial / parallel),

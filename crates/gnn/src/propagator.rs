@@ -30,6 +30,15 @@
 //! The base graph's degree sums never change between requests;
 //! [`BaseDegrees`] captures them once so per-request normalisation only
 //! folds in the incremental/interconnect mass.
+//!
+//! # SIMD levels
+//!
+//! Propagation is built entirely on the SpMM kernels, which are **bitwise
+//! identical at every `MCOND_SIMD` level** (lane-widened multiply-then-add,
+//! same order — see `mcond_sparse`'s module docs). Served logits therefore
+//! only depend on the SIMD level through the *dense* head matmuls, whose
+//! FMA tiers regroup additions; a deployment that must reproduce archived
+//! logits exactly pins `MCOND_SIMD` rather than the propagation path.
 
 use mcond_linalg::DMat;
 use mcond_sparse::Csr;

@@ -21,6 +21,7 @@ mod matmul;
 mod ops;
 mod random;
 mod reduce;
+pub mod simd;
 
 pub use dmat::DMat;
 pub use ops::sigmoid_scalar;

@@ -5,6 +5,7 @@
 //! runs over a fixed fan of per-case seeds; assertion messages carry the
 //! case index so a failure replays deterministically.
 
+use mcond_linalg::simd::{self, SimdLevel};
 use mcond_linalg::{approx_eq, DMat, MatRng};
 
 const CASES: u64 = 64;
@@ -121,5 +122,110 @@ fn select_rows_matches_get() {
         let idx = vec![rng.index(m.rows())];
         let s = m.select_rows(&idx);
         assert_eq!(s.row(0), m.row(idx[0]), "case {case}");
+    }
+}
+
+/// Every SIMD tier of every GEMM flavour agrees with the scalar reference
+/// on awkward shapes: 1x1, single-row/column, dimensions that are not lane
+/// multiples, and the empty inner product. Tolerance equality — lane tiers
+/// may regroup additions — with the shapes kept small enough that 1e-3 is
+/// far above the regrouping noise and far below any real bug.
+#[test]
+fn simd_gemm_tiers_match_scalar_on_awkward_shapes() {
+    let mut shapes = vec![(1, 1, 1), (5, 1, 1), (1, 7, 1), (1, 1, 9), (6, 16, 32), (2, 3, 33)];
+    for case in 0..24 {
+        let mut rng = case_rng(20, case);
+        shapes.push((1 + rng.index(17), 1 + rng.index(17), 1 + rng.index(17)));
+    }
+    for (case, &(m, k, n)) in shapes.iter().enumerate() {
+        let mut rng = case_rng(21, case as u64);
+        let a = rng.uniform(m, k, -10.0, 10.0);
+        let b = rng.uniform(k, n, -10.0, 10.0);
+        let reference = simd::with_simd_level(SimdLevel::Scalar, || {
+            (a.matmul(&b), a.transpose().matmul_tn(&b), a.matmul_nt(&b.transpose()))
+        });
+        for level in simd::available_levels() {
+            let got = simd::with_simd_level(level, || {
+                (a.matmul(&b), a.transpose().matmul_tn(&b), a.matmul_nt(&b.transpose()))
+            });
+            for (tag, g, r) in [
+                ("nn", &got.0, &reference.0),
+                ("tn", &got.1, &reference.1),
+                ("nt", &got.2, &reference.2),
+            ] {
+                assert!(
+                    mats_close(g, r, 1e-3),
+                    "case {case} ({m}x{k}x{n}) {tag} at {}",
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
+/// The empty inner product (k = 0) is all zeros at every tier.
+#[test]
+fn simd_gemm_tiers_handle_empty_inner_dim() {
+    let a = DMat::zeros(3, 0);
+    let b = DMat::zeros(0, 5);
+    for level in simd::available_levels() {
+        let out = simd::with_simd_level(level, || a.matmul(&b));
+        assert_eq!(out.shape(), (3, 5), "shape at {}", level.name());
+        assert!(out.as_slice().iter().all(|&v| v == 0.0), "zeros at {}", level.name());
+    }
+}
+
+/// Non-finite inputs propagate identically at every tier: a NaN poisons
+/// exactly its output row, an isolated +Inf (no cancellation possible)
+/// saturates it.
+#[test]
+fn simd_gemm_tiers_propagate_nan_and_inf() {
+    let ones_a = DMat::from_vec(3, 8, vec![1.0; 24]);
+    let ones_b = DMat::from_vec(8, 5, vec![1.0; 40]);
+    for bad in [f32::NAN, f32::INFINITY] {
+        let mut a = ones_a.clone();
+        a.set(1, 3, bad);
+        for level in simd::available_levels() {
+            let out = simd::with_simd_level(level, || a.matmul(&ones_b));
+            for i in 0..3 {
+                for j in 0..5 {
+                    let v = out.get(i, j);
+                    if i == 1 {
+                        if bad.is_nan() {
+                            assert!(v.is_nan(), "({i},{j}) at {}", level.name());
+                        } else {
+                            assert_eq!(v, f32::INFINITY, "({i},{j}) at {}", level.name());
+                        }
+                    } else {
+                        assert_eq!(v, 8.0, "({i},{j}) at {}", level.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `matmul_nt` (gradient-path flavour) is bitwise thread-invariant at every
+/// tier on shapes large enough to fan out to the pool.
+#[test]
+fn simd_matmul_nt_is_thread_invariant_per_level() {
+    for case in 0..3u64 {
+        let mut rng = case_rng(22, case);
+        let a = rng.uniform(97 + case as usize, 150 + 37 * case as usize, -1.0, 1.0);
+        let b = rng.uniform(83, 150 + 37 * case as usize, -1.0, 1.0);
+        for level in simd::available_levels() {
+            let one = simd::with_simd_level(level, || {
+                mcond_par::with_thread_limit(1, || a.matmul_nt(&b))
+            });
+            let four = simd::with_simd_level(level, || {
+                mcond_par::with_thread_limit(4, || a.matmul_nt(&b))
+            });
+            assert_eq!(
+                one.as_slice(),
+                four.as_slice(),
+                "case {case} drifted at {}",
+                level.name()
+            );
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! Named counters, gauges, and histograms with a thread-sharded registry.
 //!
-//! Kernels report work here (`linalg.matmul.flops`, `sparse.spmm.nnz`, …)
-//! and serving paths record latency distributions. Recording is gated on
+//! Kernels report work here (`linalg.matmul.flops` and its SpMM mirror
+//! `sparse.spmm.flops` — both 2·(multiply-adds), so a counter delta over a
+//! timed call yields FLOP/s directly, as the `kernels_simd` bench does —
+//! plus `sparse.spmm.nnz`, `sparse.spmm.bytes`, …) and serving paths
+//! record latency distributions. Recording is gated on
 //! [`crate::metrics_on`], so with no sink and no explicit opt-in every call
 //! is a single atomic load. When on, each thread accumulates into its own
 //! shard (an uncontended per-thread mutex), so 4 worker threads hammering

@@ -62,5 +62,5 @@ mod pool;
 
 pub use pool::{
     chunk_ranges, join, max_threads, parallel_for_chunks, parallel_for_ranges,
-    parallel_row_chunks, parallel_row_ranges, with_thread_limit,
+    parallel_row_chunks, parallel_row_ranges, parallel_row_ranges_ordered, with_thread_limit,
 };

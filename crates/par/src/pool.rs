@@ -370,6 +370,52 @@ pub fn parallel_row_ranges<F>(data: &mut [f32], row_len: usize, ranges: &[Range<
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
+    row_ranges_impl(data, row_len, ranges, None, f);
+}
+
+/// [`parallel_row_ranges`] with a caller-chosen **claim order**: `order[k]`
+/// is the index (into `ranges`) of the k-th window handed out. The sparse
+/// kernels use this to start the heaviest nnz ranges first so a straggler
+/// chunk never runs alone at the tail of the batch.
+///
+/// The order is purely a scheduling hint — every window is still a disjoint
+/// `&mut` stripe and each output element is produced by exactly one `f`
+/// invocation, so results are identical for every permutation (and on the
+/// serial path, which ignores the order and runs ascending).
+///
+/// # Panics
+/// Panics when `order` is not a permutation of `0..ranges.len()`, when the
+/// ranges do not tile the buffer exactly; re-raises task panics like
+/// [`parallel_for_chunks`].
+pub fn parallel_row_ranges_ordered<F>(
+    data: &mut [f32],
+    row_len: usize,
+    ranges: &[Range<usize>],
+    order: &[usize],
+    f: F,
+) where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(order.len(), ranges.len(), "parallel_row_ranges_ordered: order length");
+    let mut seen = vec![false; ranges.len()];
+    for &idx in order {
+        assert!(
+            idx < ranges.len() && !std::mem::replace(&mut seen[idx], true),
+            "parallel_row_ranges_ordered: order is not a permutation (index {idx})"
+        );
+    }
+    row_ranges_impl(data, row_len, ranges, Some(order), f);
+}
+
+fn row_ranges_impl<F>(
+    data: &mut [f32],
+    row_len: usize,
+    ranges: &[Range<usize>],
+    order: Option<&[usize]>,
+    f: F,
+) where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
     if ranges.is_empty() {
         assert!(data.is_empty(), "parallel_row_ranges: ranges do not tile the buffer");
         return;
@@ -416,7 +462,10 @@ where
             f(rows, chunk);
         }
     };
-    let idx_ranges: Vec<Range<usize>> = (0..ranges.len()).map(|i| i..i + 1).collect();
+    let idx_ranges: Vec<Range<usize>> = match order {
+        Some(order) => order.iter().map(|&i| i..i + 1).collect(),
+        None => (0..ranges.len()).map(|i| i..i + 1).collect(),
+    };
     run_batch(idx_ranges, threads, &body);
 }
 
@@ -456,6 +505,42 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ordered_row_ranges_match_unordered_at_every_thread_count() {
+        let ranges = vec![0..3, 3..4, 4..9, 9..16];
+        let order = vec![2, 3, 0, 1]; // heaviest-first style permutation
+        let fill = |rows: Range<usize>, chunk: &mut [f32]| {
+            for (ii, i) in rows.enumerate() {
+                for (j, v) in chunk[ii * 4..(ii + 1) * 4].iter_mut().enumerate() {
+                    *v = (i * 4 + j) as f32;
+                }
+            }
+        };
+        let mut expect = vec![0.0f32; 16 * 4];
+        parallel_row_ranges(&mut expect, 4, &ranges, fill);
+        for threads in [1, 4] {
+            let mut got = vec![0.0f32; 16 * 4];
+            with_thread_limit(threads, || {
+                parallel_row_ranges_ordered(&mut got, 4, &ranges, &order, fill);
+            });
+            assert_eq!(got, expect, "claim order changed results at {threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn ordered_row_ranges_reject_duplicate_indices() {
+        let mut data = vec![0.0f32; 4];
+        parallel_row_ranges_ordered(&mut data, 1, &[0..2, 2..4], &[0, 0], |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "order length")]
+    fn ordered_row_ranges_reject_short_order() {
+        let mut data = vec![0.0f32; 4];
+        parallel_row_ranges_ordered(&mut data, 1, &[0..2, 2..4], &[0], |_, _| {});
+    }
 
     #[test]
     fn chunk_ranges_tile_the_space() {

@@ -3,6 +3,7 @@
 //! external fuzzing crate — the build is hermetic); assertion messages
 //! carry the case index for deterministic replay.
 
+use mcond_linalg::simd::{self, SimdLevel};
 use mcond_linalg::{approx_eq, DMat, MatRng};
 use mcond_sparse::{row_normalize_dense, sparsify_dense, sym_normalize, Coo, Csr};
 
@@ -140,6 +141,50 @@ fn induced_subgraph_entries_match() {
         for (si, &oi) in keep.iter().enumerate() {
             for (sj, &oj) in keep.iter().enumerate() {
                 assert_eq!(sub.get(si, sj), csr.get(oi, oj), "case {case}: ({si},{sj})");
+            }
+        }
+    }
+}
+
+/// SpMM's SIMD contract is stricter than the dense one: every lane tier is
+/// **bitwise** equal to the scalar reference, on arbitrary sparsity
+/// patterns and dense widths that straddle the lane count — including
+/// width 1 and the all-zero matrix.
+#[test]
+fn spmm_simd_tiers_are_bitwise_scalar_on_arbitrary_patterns() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(20, case);
+        let (n, entries) = arb_sparse(&mut rng, 14);
+        let csr = build(n, &entries);
+        let d = [1, 3, 7, 8, 9, 16, 17][case as usize % 7];
+        let x = DMat::from_vec(n, d, (0..n * d).map(|i| ((i as f32) * 0.31).sin() * 4.0).collect());
+        let reference = simd::with_simd_level(SimdLevel::Scalar, || (csr.spmm(&x), csr.spmm_t(&x)));
+        for level in simd::available_levels() {
+            let got = simd::with_simd_level(level, || (csr.spmm(&x), csr.spmm_t(&x)));
+            let bits = |m: &DMat| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got.0), bits(&reference.0), "case {case} spmm at {}", level.name());
+            assert_eq!(bits(&got.1), bits(&reference.1), "case {case} spmm_t at {}", level.name());
+        }
+    }
+}
+
+/// Non-finite stored values propagate identically at every tier (the
+/// serving layer's poisoned-block detection depends on NaN/Inf surviving
+/// the kernel unchanged).
+#[test]
+fn spmm_simd_tiers_propagate_non_finite_values() {
+    for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 2, bad);
+        coo.push(3, 0, -1.5);
+        let csr = coo.to_csr();
+        let x = DMat::from_vec(4, 9, (0..36).map(|i| i as f32 + 1.0).collect());
+        let reference = simd::with_simd_level(SimdLevel::Scalar, || csr.spmm(&x));
+        for level in simd::available_levels() {
+            let got = simd::with_simd_level(level, || csr.spmm(&x));
+            for (g, r) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(g.to_bits(), r.to_bits(), "{bad} at {}", level.name());
             }
         }
     }
