@@ -13,7 +13,9 @@ for cmd in \
     "cargo run --release --example checkpointing" \
     "cargo run --release --example robust_serving" \
     "cargo run --release --example inference_acceleration" \
+    "cargo run --release --example serving" \
     "cargo bench -p mcond-bench --bench serve_fastpath" \
+    "cargo bench -p mcond-bench --bench serving_qps" \
     "cargo bench -p mcond-bench --bench obs" \
     "cargo bench -p mcond-bench --bench kernels_simd" \
     "cargo run --release -p mcond-bench --bin trace-report -- target/robust_serving_trace.jsonl"
@@ -58,9 +60,15 @@ MCOND_LOG=target/robust_serving_trace.jsonl cargo run --release --example robust
 # Headline speedup demo; asserts the split-operator fast path is bitwise
 # identical to the extended reference before reporting numbers.
 cargo run --release --example inference_acceleration
+# Network serving smoke: checkpoint boot → HTTP front end on localhost →
+# wire round trip asserted bitwise identical to the library call.
+cargo run --release --example serving
 # Fast-path bench smoke (tiny sample budget): regenerates
 # results/BENCH_serve_fastpath.json and re-checks the bitwise guard.
 MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench serve_fastpath
+# Closed-loop HTTP load-generator smoke (short levels): regenerates
+# results/BENCH_serving_qps.json after verifying wire responses bitwise.
+MCOND_QPS_MS=300 cargo bench -p mcond-bench --bench serving_qps
 # Observability overhead smoke: sink-off vs sharded-registry vs full
 # tracing at 1 and 4 threads; regenerates results/BENCH_obs_overhead.json.
 MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench obs

@@ -620,16 +620,32 @@ impl<'a> InductiveServer<'a> {
     /// order.
     #[must_use]
     pub fn try_serve_many(&self, batches: &[NodeBatch]) -> Vec<Result<DMat, ServeError>> {
+        self.try_serve_many_traced(batches).into_iter().map(|(out, _)| out).collect()
+    }
+
+    /// [`try_serve_many`](InductiveServer::try_serve_many), additionally
+    /// returning the per-request trace id alongside each slot. The id is
+    /// the one `begin_trace` assigned for that request's span — the same
+    /// value stamped on its log events and flight records — so a network
+    /// front end can hand it back to the caller (`x-mcond-trace`) for
+    /// end-to-end correlation. When no event consumer is active the trace
+    /// layer is inert and every id is `0`.
+    #[must_use]
+    pub fn try_serve_many_traced(
+        &self,
+        batches: &[NodeBatch],
+    ) -> Vec<(Result<DMat, ServeError>, u64)> {
+        type Slot = Mutex<Option<(Result<DMat, ServeError>, u64)>>;
         let _span =
             mcond_obs::span_with("try_serve_many", vec![("batches", batches.len().into())]);
-        let slots: Vec<Mutex<Option<Result<DMat, ServeError>>>> =
-            batches.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Slot> = batches.iter().map(|_| Mutex::new(None)).collect();
         mcond_par::parallel_for_chunks(batches.len(), 1, |range| {
             for i in range {
                 // Per-request trace id, opened *outside* the unwind
                 // boundary so the panic handler (and its flight dump)
                 // still attributes to the request that died.
-                let _trace = mcond_obs::begin_trace();
+                let trace = mcond_obs::begin_trace();
+                let trace_id = trace.id();
                 let out = catch_unwind(AssertUnwindSafe(|| self.try_serve(&batches[i])))
                     .unwrap_or_else(|payload| {
                         if mcond_obs::flight::active() {
@@ -644,7 +660,8 @@ impl<'a> InductiveServer<'a> {
                         drop(stats);
                         Err(ServeError::Panicked { context: panic_context(payload.as_ref()) })
                     });
-                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some((out, trace_id));
             }
         });
         slots

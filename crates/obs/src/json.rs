@@ -190,7 +190,12 @@ fn write_seq(
 fn write_number(out: &mut String, v: f64) {
     if !v.is_finite() {
         out.push_str("null");
+    } else if v == 0.0 && v.is_sign_negative() {
+        // The integer fast path below would erase the sign bit; keep it
+        // so dump→parse round-trips every finite f64 bitwise.
+        out.push_str("-0.0");
     } else if v == v.trunc() && v.abs() < 1e15 {
+        #[allow(clippy::cast_possible_truncation)]
         let _ = write!(out, "{}", v as i64);
     } else {
         let _ = write!(out, "{v}");
@@ -430,6 +435,16 @@ mod tests {
         assert_eq!(j.get("name").and_then(Json::as_str), Some("serve"));
         assert_eq!(j.get("us").and_then(Json::as_f64), Some(125.0));
         assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn negative_zero_round_trips_bitwise() {
+        let dumped = Json::Num(-0.0).dump();
+        assert_eq!(dumped, "-0.0");
+        let back = Json::parse(&dumped).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Positive zero keeps the terse integer form.
+        assert_eq!(Json::Num(0.0).dump(), "0");
     }
 
     #[test]

@@ -88,6 +88,30 @@
 //! surviving the sparsified mapping, clamped to `[0, 1]`). The parallel
 //! pool contributes `par.pool.tasks` and `par.pool.threads`.
 //!
+//! The HTTP front end (`mcond-serve`) adds its own family under
+//! `serve.http.*`:
+//!
+//! * `serve.http.requests` — HTTP requests parsed off sockets (every
+//!   route, including rejected ones);
+//! * `serve.http.admitted` — `/v1/serve` requests that passed admission
+//!   control and entered the batching queue;
+//! * `serve.http.shed` — requests answered `429` by load shedding
+//!   (queue at capacity or queue-wait EWMA over threshold);
+//! * `serve.http.bad_requests` — `/v1/serve` bodies rejected by the
+//!   wire codec (malformed JSON, non-UTF-8, out-of-range entries);
+//! * `serve.http.protocol_errors` — connections dropped for HTTP
+//!   framing violations (each also answers its typed 4xx/5xx);
+//! * `serve.http.timeouts` — mid-frame read stalls answered `408` plus
+//!   queue replies that missed `reply_timeout` (`504`);
+//! * `serve.http.batches` / `serve.http.coalesced` — fan-outs executed
+//!   and requests merged into them (their ratio is the effective
+//!   coalescing factor);
+//! * `serve.http.conns` / `serve.http.conns_rejected` — connections
+//!   accepted / refused at the `max_connections` bound;
+//! * `serve.http.queue_depth`, `serve.http.queue_wait_ewma_us` —
+//!   gauges: jobs waiting in the batching queue and the smoothed
+//!   queue-wait backpressure signal.
+//!
 //! # Example
 //! ```
 //! let _capture = mcond_obs::testing::capture();

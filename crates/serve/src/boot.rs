@@ -1,0 +1,23 @@
+//! Checkpoint boot: turn an on-disk [`Checkpoint`] bundle (written by
+//! `mcond-store`) into the `Arc<InductiveServer<'static>>` the front end
+//! needs — the deployment path where the serving process never sees the
+//! original graph, only the condensed artifact.
+
+use mcond_core::{Checkpoint, InductiveServer};
+use mcond_store::StoreError;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Loads the checkpoint at `path` and builds a `'static` server over it.
+///
+/// The checkpoint is intentionally leaked: a serving process keeps its
+/// model resident for its whole lifetime, and the `'static` borrow is
+/// what lets connection handler threads share the server without
+/// self-referential ownership tricks. Call once at process start.
+///
+/// # Errors
+/// Any [`StoreError`] from reading or validating the bundle.
+pub fn boot_checkpoint(path: impl AsRef<Path>) -> Result<Arc<InductiveServer<'static>>, StoreError> {
+    let ckpt: &'static Checkpoint = Box::leak(Box::new(Checkpoint::load(path)?));
+    Ok(Arc::new(InductiveServer::from_checkpoint(ckpt)))
+}

@@ -1,0 +1,487 @@
+//! JSON wire codec for [`NodeBatch`] requests and logits responses.
+//!
+//! Runs on the in-repo [`mcond_obs::Json`] value (hermeticity rule — no
+//! serde). The decoder is *total*: any byte string either decodes to a
+//! structurally well-formed batch or returns a typed [`CodecError`], never
+//! a panic — the seeded fuzz suite (`codec_fuzz` test) drives random,
+//! truncated, and bit-mutated payloads through it to prove that. Semantic
+//! validation against the serving base (incremental width, feature
+//! dimension, label count) is deliberately *not* done here: the decoder
+//! accepts any self-consistent shape and lets
+//! [`NodeBatch::validate_against`] produce its usual typed `ServeError`,
+//! so wire requests fail exactly like library requests.
+//!
+//! # Request format (`POST /v1/serve`)
+//!
+//! ```json
+//! {
+//!   "feature_dim": 3,
+//!   "features": [[0.1, 0.2, 0.3], [1.0, 2.0, 3.0]],
+//!   "incremental": {"cols": 140, "entries": [[0, 7, 1.0], [1, 12, 0.5]]},
+//!   "interconnect": {"entries": [[0, 1, 1.0], [1, 0, 1.0]]},
+//!   "labels": [0, 1]
+//! }
+//! ```
+//!
+//! `features` is dense (row per node); sparse matrices are
+//! `{rows?, cols?, entries: [[row, col, value], ...]}` with `rows`
+//! defaulting to the node count and `interconnect.cols` to the node count
+//! (`incremental.cols` — the base-graph width — is required).
+//! `feature_dim` is required only when `features` is empty (the empty
+//! batch still has a feature width to validate); `labels` and the whole
+//! `interconnect` object are optional. Numbers must be finite: JSON has no
+//! `NaN`/`Infinity`, and a non-finite f32 on the encode side serialises as
+//! `null`, which the decoder rejects with a typed error — the wire cannot
+//! smuggle a non-finite value past validation.
+//!
+//! Round-trip fidelity is **bitwise** for finite values: `f32 → f64`
+//! widening is exact, the writer emits shortest-round-trip decimal (and
+//! `-0.0` explicitly), so `decode(encode(b))` reproduces every payload bit
+//! the serving layer can observe.
+
+use mcond_graph::NodeBatch;
+use mcond_linalg::DMat;
+use mcond_obs::Json;
+use mcond_sparse::{Coo, Csr};
+use std::fmt;
+
+/// Why a wire payload failed to decode. Every variant maps to HTTP `400`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The body is not syntactically valid JSON (offset in the message).
+    Parse(String),
+    /// The body is not UTF-8.
+    Utf8,
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field has the wrong JSON type (or a non-finite / `null` number
+    /// where a finite one is required).
+    Type {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// What the decoder needed there.
+        expected: &'static str,
+    },
+    /// A dense row has a different width than the first row.
+    Ragged {
+        /// Row index.
+        row: usize,
+        /// Its width.
+        got: usize,
+        /// Width of row 0.
+        expected: usize,
+    },
+    /// A sparse entry is not a `[row, col, value]` triple.
+    EntryShape {
+        /// Which sparse field.
+        field: &'static str,
+        /// Entry index.
+        index: usize,
+    },
+    /// A sparse entry's indices fall outside the declared shape.
+    EntryOutOfRange {
+        /// Which sparse field.
+        field: &'static str,
+        /// The entry's row.
+        row: usize,
+        /// The entry's column.
+        col: usize,
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+    },
+    /// An index field is not a non-negative integer.
+    BadIndex {
+        /// Dotted path of the offending field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Parse(msg) => write!(f, "body is not valid JSON: {msg}"),
+            CodecError::Utf8 => write!(f, "body is not UTF-8"),
+            CodecError::Missing(field) => write!(f, "missing required field {field:?}"),
+            CodecError::Type { field, expected } => {
+                write!(f, "field {field:?} must be {expected}")
+            }
+            CodecError::Ragged { row, got, expected } => write!(
+                f,
+                "features row {row} has {got} values but row 0 has {expected}"
+            ),
+            CodecError::EntryShape { field, index } => {
+                write!(f, "{field} entry {index} is not a [row, col, value] triple")
+            }
+            CodecError::EntryOutOfRange { field, row, col, rows, cols } => write!(
+                f,
+                "{field} entry ({row}, {col}) is outside the declared {rows}x{cols} shape"
+            ),
+            CodecError::BadIndex { field } => {
+                write!(f, "field {field:?} must be a non-negative integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialises a batch to the wire object.
+#[must_use]
+pub fn batch_to_json(batch: &NodeBatch) -> Json {
+    Json::obj()
+        .with("feature_dim", batch.features.cols())
+        .with(
+            "features",
+            Json::Arr(
+                (0..batch.features.rows())
+                    .map(|i| {
+                        Json::Arr(
+                            batch.features.row(i).iter().map(|&v| Json::from(v)).collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .with("incremental", csr_to_json(&batch.incremental))
+        .with("interconnect", csr_to_json(&batch.interconnect))
+        .with("labels", Json::Arr(batch.labels.iter().map(|&l| Json::from(l)).collect()))
+}
+
+/// Serialises a batch to a compact JSON string.
+#[must_use]
+pub fn encode_batch(batch: &NodeBatch) -> String {
+    batch_to_json(batch).dump()
+}
+
+/// Decodes the wire object back into a batch.
+///
+/// # Errors
+/// A typed [`CodecError`] for any structural defect; see the module docs
+/// for the division of labour with `NodeBatch::validate_against`.
+pub fn batch_from_json(json: &Json) -> Result<NodeBatch, CodecError> {
+    let Json::Obj(_) = json else {
+        return Err(CodecError::Type { field: "<root>", expected: "an object" });
+    };
+    let rows = json
+        .get("features")
+        .ok_or(CodecError::Missing("features"))?
+        .as_arr()
+        .ok_or(CodecError::Type { field: "features", expected: "an array of rows" })?;
+    let n = rows.len();
+    let dim = match json.get("feature_dim") {
+        Some(v) => Some(parse_index(v, "feature_dim")?),
+        None => None,
+    };
+    let first_width = match rows.first() {
+        Some(row) => row
+            .as_arr()
+            .ok_or(CodecError::Type { field: "features", expected: "an array of rows" })?
+            .len(),
+        None => dim.ok_or(CodecError::Missing("feature_dim"))?,
+    };
+    if let Some(d) = dim {
+        if n > 0 && d != first_width {
+            return Err(CodecError::Ragged { row: 0, got: first_width, expected: d });
+        }
+    }
+    let mut data = Vec::with_capacity(n * first_width);
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or(CodecError::Type { field: "features", expected: "an array of rows" })?;
+        if row.len() != first_width {
+            return Err(CodecError::Ragged { row: i, got: row.len(), expected: first_width });
+        }
+        for v in row {
+            data.push(parse_f32(v, "features")?);
+        }
+    }
+    let features = DMat::from_vec(n, first_width, data);
+
+    let inc_json =
+        json.get("incremental").ok_or(CodecError::Missing("incremental"))?;
+    let incremental = csr_from_json(inc_json, "incremental", n, None)?;
+    let interconnect = match json.get("interconnect") {
+        Some(j) => csr_from_json(j, "interconnect", n, Some(n))?,
+        None => Csr::empty(n, n),
+    };
+    let labels = match json.get("labels") {
+        Some(Json::Arr(items)) => {
+            let mut labels = Vec::with_capacity(items.len());
+            for item in items {
+                labels.push(parse_index(item, "labels")?);
+            }
+            labels
+        }
+        Some(_) => {
+            return Err(CodecError::Type { field: "labels", expected: "an array of integers" })
+        }
+        None => vec![0; n],
+    };
+    Ok(NodeBatch { features, incremental, interconnect, labels })
+}
+
+/// Parses and decodes a JSON text body.
+///
+/// # Errors
+/// [`CodecError::Parse`] on syntax errors, otherwise as
+/// [`batch_from_json`].
+pub fn decode_batch(text: &str) -> Result<NodeBatch, CodecError> {
+    let json = Json::parse(text).map_err(CodecError::Parse)?;
+    batch_from_json(&json)
+}
+
+/// Serialises a logits response: the request's trace id and the `n x C`
+/// logit matrix, row per node.
+#[must_use]
+pub fn encode_logits(trace: u64, logits: &DMat) -> String {
+    Json::obj()
+        .with("trace", trace)
+        .with("rows", logits.rows())
+        .with("cols", logits.cols())
+        .with(
+            "logits",
+            Json::Arr(
+                (0..logits.rows())
+                    .map(|i| Json::Arr(logits.row(i).iter().map(|&v| Json::from(v)).collect()))
+                    .collect(),
+            ),
+        )
+        .dump()
+}
+
+/// Decodes a logits response back into `(trace, logits)`.
+///
+/// # Errors
+/// A typed [`CodecError`] on any structural defect.
+pub fn decode_logits(text: &str) -> Result<(u64, DMat), CodecError> {
+    let json = Json::parse(text).map_err(CodecError::Parse)?;
+    let trace = parse_index(json.get("trace").ok_or(CodecError::Missing("trace"))?, "trace")?;
+    let rows = parse_index(json.get("rows").ok_or(CodecError::Missing("rows"))?, "rows")?;
+    let cols = parse_index(json.get("cols").ok_or(CodecError::Missing("cols"))?, "cols")?;
+    let body = json
+        .get("logits")
+        .ok_or(CodecError::Missing("logits"))?
+        .as_arr()
+        .ok_or(CodecError::Type { field: "logits", expected: "an array of rows" })?;
+    if body.len() != rows {
+        return Err(CodecError::Type { field: "logits", expected: "exactly `rows` rows" });
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for row in body {
+        let row = row
+            .as_arr()
+            .ok_or(CodecError::Type { field: "logits", expected: "an array of rows" })?;
+        if row.len() != cols {
+            return Err(CodecError::Type { field: "logits", expected: "exactly `cols` columns" });
+        }
+        for v in row {
+            data.push(parse_f32(v, "logits")?);
+        }
+    }
+    Ok((trace as u64, DMat::from_vec(rows, cols, data)))
+}
+
+fn csr_to_json(m: &Csr) -> Json {
+    Json::obj().with("rows", m.rows()).with("cols", m.cols()).with(
+        "entries",
+        Json::Arr(
+            m.iter()
+                .map(|(i, j, v)| Json::Arr(vec![Json::from(i), Json::from(j), Json::from(v)]))
+                .collect(),
+        ),
+    )
+}
+
+/// Decodes a sparse object. `default_rows` is the batch's node count;
+/// `default_cols` is `Some(n)` for the interconnect (square by default)
+/// and `None` for the incremental matrix, whose `cols` — the base-graph
+/// width — the client must declare.
+fn csr_from_json(
+    json: &Json,
+    field: &'static str,
+    default_rows: usize,
+    default_cols: Option<usize>,
+) -> Result<Csr, CodecError> {
+    let Json::Obj(_) = json else {
+        return Err(CodecError::Type { field, expected: "an object with an entries array" });
+    };
+    let rows = match json.get("rows") {
+        Some(v) => parse_index(v, field)?,
+        None => default_rows,
+    };
+    let cols = match (json.get("cols"), default_cols) {
+        (Some(v), _) => parse_index(v, field)?,
+        (None, Some(d)) => d,
+        (None, None) => return Err(CodecError::Missing("incremental.cols")),
+    };
+    let entries = match json.get("entries") {
+        Some(j) => j
+            .as_arr()
+            .ok_or(CodecError::Type { field, expected: "an entries array" })?,
+        None => &[],
+    };
+    let mut coo = Coo::with_capacity(rows, cols, entries.len());
+    for (index, entry) in entries.iter().enumerate() {
+        let triple = entry.as_arr().ok_or(CodecError::EntryShape { field, index })?;
+        let [i, j, v] = triple else {
+            return Err(CodecError::EntryShape { field, index });
+        };
+        let i = parse_index(i, field)?;
+        let j = parse_index(j, field)?;
+        let v = parse_f32(v, field)?;
+        if i >= rows || j >= cols {
+            return Err(CodecError::EntryOutOfRange { field, row: i, col: j, rows, cols });
+        }
+        coo.push(i, j, v);
+    }
+    Ok(coo.to_csr())
+}
+
+/// A finite f32, rejecting `null` (the writer's spelling of NaN/Inf) and
+/// anything non-numeric.
+fn parse_f32(json: &Json, field: &'static str) -> Result<f32, CodecError> {
+    match json {
+        Json::Num(v) if v.is_finite() => Ok(*v as f32),
+        _ => Err(CodecError::Type { field, expected: "a finite number" }),
+    }
+}
+
+/// A non-negative integer index that fits `usize` exactly.
+fn parse_index(json: &Json, field: &'static str) -> Result<usize, CodecError> {
+    match json {
+        Json::Num(v)
+            if v.is_finite() && *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) =>
+        {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Ok(*v as usize)
+        }
+        _ => Err(CodecError::BadIndex { field }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeBatch {
+        let mut inc = Coo::new(2, 5);
+        inc.push(0, 1, 1.0);
+        inc.push(1, 4, -0.25);
+        let mut inter = Coo::new(2, 2);
+        inter.push_sym(0, 1, 1.0);
+        NodeBatch {
+            features: DMat::from_rows(&[&[0.5, -0.0, 3.25], &[1e-7, 2.0, -1.5]]),
+            incremental: inc.to_csr(),
+            interconnect: inter.to_csr(),
+            labels: vec![1, 0],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bitwise() {
+        let batch = sample();
+        let back = decode_batch(&encode_batch(&batch)).unwrap();
+        assert!(back.features.bit_eq(&batch.features), "features drifted");
+        assert!(back.incremental.bit_eq(&batch.incremental));
+        assert!(back.interconnect.bit_eq(&batch.interconnect));
+        assert_eq!(back.labels, batch.labels);
+    }
+
+    #[test]
+    fn empty_batch_round_trips_with_explicit_dim() {
+        let batch = NodeBatch {
+            features: DMat::zeros(0, 3),
+            incremental: Csr::empty(0, 7),
+            interconnect: Csr::empty(0, 0),
+            labels: vec![],
+        };
+        let back = decode_batch(&encode_batch(&batch)).unwrap();
+        assert_eq!(back.features.shape(), (0, 3));
+        assert_eq!(back.incremental.cols(), 7);
+    }
+
+    #[test]
+    fn non_finite_payloads_yield_typed_errors() {
+        let mut batch = sample();
+        batch.features.set(0, 0, f32::NAN);
+        // NaN serialises as null; decode rejects it with a typed error.
+        assert_eq!(
+            decode_batch(&encode_batch(&batch)).unwrap_err(),
+            CodecError::Type { field: "features", expected: "a finite number" }
+        );
+        let mut batch = sample();
+        batch.incremental = batch.incremental.map_values(|_| f32::INFINITY);
+        assert!(matches!(
+            decode_batch(&encode_batch(&batch)),
+            Err(CodecError::Type { field: "incremental", .. })
+        ));
+    }
+
+    #[test]
+    fn missing_and_malformed_fields_are_typed() {
+        assert!(matches!(decode_batch("not json"), Err(CodecError::Parse(_))));
+        assert_eq!(
+            decode_batch("[]").unwrap_err(),
+            CodecError::Type { field: "<root>", expected: "an object" }
+        );
+        assert_eq!(decode_batch("{}").unwrap_err(), CodecError::Missing("features"));
+        assert_eq!(
+            decode_batch(r#"{"features": []}"#).unwrap_err(),
+            CodecError::Missing("feature_dim")
+        );
+        assert_eq!(
+            decode_batch(r#"{"features": [[1.0]], "incremental": {"entries": []}}"#)
+                .unwrap_err(),
+            CodecError::Missing("incremental.cols")
+        );
+        assert_eq!(
+            decode_batch(r#"{"features": [[1.0], [2.0, 3.0]], "incremental": {"cols": 2}}"#)
+                .unwrap_err(),
+            CodecError::Ragged { row: 1, got: 2, expected: 1 }
+        );
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1.0]], "incremental": {"cols": 2, "entries": [[0, 5, 1.0]]}}"#
+            )
+            .unwrap_err(),
+            CodecError::EntryOutOfRange { field: "incremental", row: 0, col: 5, rows: 1, cols: 2 }
+        );
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1.0]], "incremental": {"cols": 2, "entries": [[0, 1]]}}"#
+            )
+            .unwrap_err(),
+            CodecError::EntryShape { field: "incremental", index: 0 }
+        );
+        assert_eq!(
+            decode_batch(r#"{"features": [[1.0]], "incremental": {"cols": -2}}"#).unwrap_err(),
+            CodecError::BadIndex { field: "incremental" }
+        );
+    }
+
+    #[test]
+    fn wrong_declared_shapes_decode_and_fail_batch_validation_later() {
+        // The codec accepts a self-consistent but semantically wrong shape
+        // (interconnect 3x3 for a 1-node batch) — validate_against owns
+        // that rejection, so HTTP requests fail exactly like library calls.
+        let batch = decode_batch(
+            r#"{"features": [[1.0]],
+                "incremental": {"cols": 4, "entries": []},
+                "interconnect": {"rows": 3, "cols": 3, "entries": []}}"#,
+        )
+        .unwrap();
+        assert!(batch.validate_against(4, 1).is_err());
+    }
+
+    #[test]
+    fn logits_round_trip_is_bitwise() {
+        let logits = DMat::from_rows(&[&[0.1, -0.0], &[f32::MIN_POSITIVE, 123456.75]]);
+        let text = encode_logits(42, &logits);
+        let (trace, back) = decode_logits(&text).unwrap();
+        assert_eq!(trace, 42);
+        assert!(back.bit_eq(&logits));
+    }
+}

@@ -1,0 +1,635 @@
+//! The HTTP front end: accept loop, connection handlers, and the adaptive
+//! micro-batching worker.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ──► conn handler threads (one per connection, bounded)
+//!                        │  parse HTTP ► decode batch ► admission control
+//!                        ▼
+//!                  bounded job queue (sync_channel, capacity = queue_capacity)
+//!                        │
+//!                  batcher thread: coalesce ≤ max_coalesce jobs within
+//!                  coalesce_window, then one `try_serve_many_traced`
+//!                  fan-out across the mcond-par pool
+//!                        │
+//!                  per-job reply channel ──► handler writes the response
+//! ```
+//!
+//! # Coalescing / shedding state machine (DESIGN.md §4j)
+//!
+//! A `POST /v1/serve` request is **admitted** when the queue has room and
+//! the smoothed queue-wait EWMA is under `shed_wait_us`; admitted jobs are
+//! enqueued and the handler blocks on the job's reply channel. The batcher
+//! takes the first queued job, then keeps draining the queue until either
+//! `coalesce_window` elapses or `max_coalesce` jobs are merged — the
+//! merged set is served as **one** [`try_serve_many`] fan-out, so
+//! concurrent wire requests get the same panic isolation and bitwise
+//! determinism as library callers. When the queue is full or the EWMA
+//! crosses the threshold the request is **shed** with `429` and a
+//! `Retry-After` header (counter `serve.http.shed`); the EWMA halves on
+//! every idle batcher tick, so a drained server automatically readmits.
+//!
+//! [`try_serve_many`]: mcond_core::InductiveServer::try_serve_many
+
+use crate::codec::{self, CodecError};
+use crate::http::{write_response, HttpLimits, Request, RequestParser};
+use mcond_core::{InductiveServer, ServeError};
+use mcond_graph::NodeBatch;
+use mcond_linalg::DMat;
+use mcond_obs::Json;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one front end. `Default` is sized for tests and small
+/// deployments; every field is plain data, override what you need.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`ServeHandle::addr`]).
+    pub addr: String,
+    /// How long the batcher waits for more requests to merge after the
+    /// first one arrives. Larger windows raise per-request latency but
+    /// amortise fan-out overhead under load.
+    pub coalesce_window: Duration,
+    /// Most requests merged into one fan-out.
+    pub max_coalesce: usize,
+    /// Bounded depth of the job queue; requests beyond it are shed with
+    /// `429`.
+    pub queue_capacity: usize,
+    /// Most simultaneously open connections; further accepts are answered
+    /// `503` and closed.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout: a request that stalls
+    /// mid-frame (slowloris) is answered `408` and the connection closed;
+    /// an *idle* keep-alive connection is closed silently.
+    pub read_timeout: Duration,
+    /// How long a handler waits for its job's result before answering
+    /// `504`.
+    pub reply_timeout: Duration,
+    /// Queue-wait EWMA (µs) above which new requests are shed even while
+    /// the queue has room — early backpressure when `serve.stage.*` work
+    /// is the bottleneck rather than arrival bursts.
+    pub shed_wait_us: u64,
+    /// `Retry-After` seconds advertised on `429` responses.
+    pub retry_after_secs: u32,
+    /// HTTP framing limits (header/body byte caps).
+    pub limits: HttpLimits,
+    /// When set, the batcher pins its fan-outs to this thread count via
+    /// [`mcond_par::with_thread_limit`] — results are bitwise identical
+    /// either way (the pool's contract); tests use it to compare 1- and
+    /// 4-thread servers in one process.
+    pub thread_limit: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            coalesce_window: Duration::from_micros(500),
+            max_coalesce: 64,
+            queue_capacity: 256,
+            max_connections: 128,
+            read_timeout: Duration::from_secs(5),
+            reply_timeout: Duration::from_secs(30),
+            shed_wait_us: 500_000,
+            retry_after_secs: 1,
+            limits: HttpLimits::default(),
+            thread_limit: None,
+        }
+    }
+}
+
+/// One admitted request travelling to the batcher.
+struct Job {
+    batch: NodeBatch,
+    enqueued: Instant,
+    reply: SyncSender<(Result<DMat, ServeError>, u64)>,
+}
+
+/// State shared between the accept loop, handlers, and the batcher.
+struct Shared {
+    stop: AtomicBool,
+    /// Jobs admitted but not yet dequeued by the batcher.
+    depth: AtomicUsize,
+    /// Smoothed queue wait in µs (α = 1/8), halved on idle ticks.
+    ewma_wait_us: AtomicU64,
+    live_conns: AtomicUsize,
+    /// Chaos/testing gate: while `true` the batcher stops dequeuing, so
+    /// the queue fills deterministically (the load-shed suite drives it).
+    paused: Mutex<bool>,
+    unpause: Condvar,
+}
+
+impl Shared {
+    fn overloaded(&self, cfg: &ServeConfig) -> bool {
+        self.depth.load(Ordering::Acquire) >= cfg.queue_capacity
+            || self.ewma_wait_us.load(Ordering::Relaxed) > cfg.shed_wait_us
+    }
+
+    fn record_wait(&self, wait_us: u64) {
+        let old = self.ewma_wait_us.load(Ordering::Relaxed);
+        self.ewma_wait_us.store(old - old / 8 + wait_us / 8, Ordering::Relaxed);
+    }
+
+    fn decay_wait(&self) {
+        let old = self.ewma_wait_us.load(Ordering::Relaxed);
+        if old > 0 {
+            self.ewma_wait_us.store(old / 2, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks while the pause gate is closed (and the server is running).
+    fn wait_unpaused(&self) {
+        let mut paused = self.paused.lock().unwrap();
+        while *paused && !self.stop.load(Ordering::Acquire) {
+            let (guard, _) =
+                self.unpause.wait_timeout(paused, Duration::from_millis(20)).unwrap();
+            paused = guard;
+        }
+    }
+}
+
+/// A running front end. Dropping the handle shuts the server down.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port `0` to the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Closes the batcher's dequeue gate: admitted jobs stay queued (so
+    /// the bounded queue fills and sheds deterministically) until
+    /// [`resume`](ServeHandle::resume). A chaos/testing facility, in the
+    /// spirit of `mcond_core::chaos` — metrics and health endpoints keep
+    /// answering while paused.
+    pub fn pause(&self) {
+        *self.shared.paused.lock().unwrap() = true;
+    }
+
+    /// Reopens the dequeue gate; queued jobs drain in arrival order.
+    pub fn resume(&self) {
+        *self.shared.paused.lock().unwrap() = false;
+        self.shared.unpause.notify_all();
+    }
+
+    /// Stops accepting, drains the worker, and joins the service threads.
+    /// Connection handler threads exit on their next read timeout.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.resume();
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Binds the listener and spawns the accept loop and the batching worker.
+/// Also turns on metric aggregation ([`mcond_obs::enable_metrics`]) so
+/// `GET /metrics` always has counters to report.
+///
+/// The server is shared behind an `Arc` — the same instance library
+/// callers use ([`InductiveServer`] is `Sync`), so wire responses are
+/// produced by exactly the code path the test suite verifies bitwise.
+///
+/// # Errors
+/// Any socket-level `io::Error` from binding the address.
+pub fn spawn(
+    server: Arc<InductiveServer<'static>>,
+    config: ServeConfig,
+) -> std::io::Result<ServeHandle> {
+    mcond_obs::enable_metrics();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        depth: AtomicUsize::new(0),
+        ewma_wait_us: AtomicU64::new(0),
+        live_conns: AtomicUsize::new(0),
+        paused: Mutex::new(false),
+        unpause: Condvar::new(),
+    });
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+
+    let batcher = {
+        let server = Arc::clone(&server);
+        let shared = Arc::clone(&shared);
+        let cfg = config.clone();
+        thread::Builder::new()
+            .name("mcond-serve-batcher".to_owned())
+            .spawn(move || batcher_loop(&server, &rx, &shared, &cfg))?
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let cfg = config.clone();
+        thread::Builder::new().name("mcond-serve-accept".to_owned()).spawn(move || {
+            accept_loop(&listener, &server, &tx, &shared, &cfg);
+        })?
+    };
+    Ok(ServeHandle { addr, shared, accept: Some(accept), batcher: Some(batcher) })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<InductiveServer<'static>>,
+    tx: &SyncSender<Job>,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.live_conns.load(Ordering::Acquire) >= cfg.max_connections {
+            mcond_obs::counter_add("serve.http.conns_rejected", 1);
+            let body = error_body("too_many_connections", "connection limit reached");
+            let _ = (&stream).write_all(&write_response(503, &[], body.as_bytes(), true));
+            continue;
+        }
+        shared.live_conns.fetch_add(1, Ordering::AcqRel);
+        mcond_obs::counter_add("serve.http.conns", 1);
+        let server = Arc::clone(server);
+        let tx = tx.clone();
+        let conn_shared = Arc::clone(shared);
+        let cfg = cfg.clone();
+        let spawned = thread::Builder::new().name("mcond-serve-conn".to_owned()).spawn(
+            move || {
+                handle_conn(stream, &server, &tx, &conn_shared, &cfg);
+                conn_shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+            },
+        );
+        if spawned.is_err() {
+            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The per-connection loop: parse requests (pipelining-aware), route
+/// them, write responses. Returns when the peer closes, framing breaks,
+/// a read times out, or the server stops.
+fn handle_conn(
+    mut stream: TcpStream,
+    server: &Arc<InductiveServer<'static>>,
+    tx: &SyncSender<Job>,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(cfg.limits);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Drain every complete request already buffered before reading
+        // more — pipelined requests answer back-to-back.
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    mcond_obs::counter_add("serve.http.requests", 1);
+                    let keep = req.keep_alive();
+                    let response = route(&req, server, tx, shared, cfg, keep);
+                    if stream.write_all(&response).is_err() {
+                        return;
+                    }
+                    if !keep {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is unrecoverable: answer the typed status
+                    // and close.
+                    mcond_obs::counter_add("serve.http.protocol_errors", 1);
+                    let body = error_body(e.kind(), &e.to_string());
+                    let _ = stream
+                        .write_all(&write_response(e.status(), &[], body.as_bytes(), true));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => parser.push(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if parser.mid_request() {
+                    // A started-but-stalled request (slowloris): typed
+                    // timeout, then close.
+                    mcond_obs::counter_add("serve.http.timeouts", 1);
+                    let body = error_body("request_timeout", "request stalled mid-frame");
+                    let _ = stream.write_all(&write_response(408, &[], body.as_bytes(), true));
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint and frames the response.
+fn route(
+    req: &Request,
+    server: &Arc<InductiveServer<'static>>,
+    tx: &SyncSender<Job>,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let close = !keep_alive;
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/v1/serve") => serve_endpoint(req, tx, shared, cfg, close),
+        ("GET", "/healthz") => {
+            let body = Json::obj()
+                .with("status", "ok")
+                .with("base_nodes", server.base_nodes())
+                .dump();
+            write_response(200, &[], body.as_bytes(), close)
+        }
+        ("GET", "/metrics") => {
+            // JSONL: one line for this server's request statistics, one
+            // for the process-wide registry (http counters live there).
+            let mut body = Json::obj()
+                .with("scope", "server")
+                .with("metrics", server.metrics_snapshot().to_json())
+                .dump();
+            body.push('\n');
+            body.push_str(
+                &Json::obj()
+                    .with("scope", "process")
+                    .with("metrics", mcond_obs::snapshot().to_json())
+                    .dump(),
+            );
+            body.push('\n');
+            write_response(200, &[], body.as_bytes(), close)
+        }
+        (_, "/v1/serve") => method_not_allowed("POST", close),
+        (_, "/healthz" | "/metrics") => method_not_allowed("GET", close),
+        _ => {
+            let body = error_body("not_found", "unknown path");
+            write_response(404, &[], body.as_bytes(), close)
+        }
+    }
+}
+
+/// `POST /v1/serve`: decode, admit (or shed), enqueue, await the fan-out
+/// result, map it to a status.
+fn serve_endpoint(
+    req: &Request,
+    tx: &SyncSender<Job>,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+    close: bool,
+) -> Vec<u8> {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        mcond_obs::counter_add("serve.http.bad_requests", 1);
+        let body = error_body("codec", &CodecError::Utf8.to_string());
+        return write_response(400, &[], body.as_bytes(), close);
+    };
+    let batch = match codec::decode_batch(text) {
+        Ok(b) => b,
+        Err(e) => {
+            mcond_obs::counter_add("serve.http.bad_requests", 1);
+            let body = error_body("codec", &e.to_string());
+            return write_response(400, &[], body.as_bytes(), close);
+        }
+    };
+
+    // Admission control: shed *before* touching the queue when the server
+    // is already over its bounds.
+    if shared.overloaded(cfg) {
+        return shed_response(cfg, close);
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    shared.depth.fetch_add(1, Ordering::AcqRel);
+    let job = Job { batch, enqueued: Instant::now(), reply: reply_tx };
+    match tx.try_send(job) {
+        Ok(()) => mcond_obs::counter_add("serve.http.admitted", 1),
+        Err(TrySendError::Full(_)) => {
+            shared.depth.fetch_sub(1, Ordering::AcqRel);
+            return shed_response(cfg, close);
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.depth.fetch_sub(1, Ordering::AcqRel);
+            let body = error_body("shutting_down", "serving worker is gone");
+            return write_response(503, &[], body.as_bytes(), close);
+        }
+    }
+    match reply_rx.recv_timeout(cfg.reply_timeout) {
+        Ok((Ok(logits), trace)) => {
+            let body = codec::encode_logits(trace, &logits);
+            write_response(
+                200,
+                &[("x-mcond-trace", trace.to_string())],
+                body.as_bytes(),
+                close,
+            )
+        }
+        Ok((Err(e), trace)) => {
+            let (status, kind) = serve_error_status(&e);
+            let body = error_body(kind, &e.to_string());
+            write_response(
+                status,
+                &[("x-mcond-trace", trace.to_string())],
+                body.as_bytes(),
+                close,
+            )
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            mcond_obs::counter_add("serve.http.timeouts", 1);
+            let body = error_body("reply_timeout", "request timed out in the serving queue");
+            write_response(504, &[], body.as_bytes(), close)
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            let body = error_body("shutting_down", "serving worker dropped the request");
+            write_response(503, &[], body.as_bytes(), close)
+        }
+    }
+}
+
+fn shed_response(cfg: &ServeConfig, close: bool) -> Vec<u8> {
+    mcond_obs::counter_add("serve.http.shed", 1);
+    let body = error_body("shed", "server is over capacity; retry after the advertised delay");
+    write_response(
+        429,
+        &[("retry-after", cfg.retry_after_secs.to_string())],
+        body.as_bytes(),
+        close,
+    )
+}
+
+fn method_not_allowed(allow: &str, close: bool) -> Vec<u8> {
+    let body = error_body("method_not_allowed", &format!("use {allow}"));
+    write_response(405, &[("allow", allow.to_owned())], body.as_bytes(), close)
+}
+
+/// The micro-batching worker: coalesce queued jobs, run one fan-out,
+/// deliver per-job replies.
+fn batcher_loop(
+    server: &Arc<InductiveServer<'static>>,
+    rx: &mpsc::Receiver<Job>,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            // Dropping `rx` disconnects every waiting handler, which
+            // answers 503 — no request is left hanging.
+            return;
+        }
+        shared.wait_unpaused();
+        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: decay the backpressure signal so a drained
+                // server readmits traffic.
+                shared.decay_wait();
+                mcond_obs::gauge_set(
+                    "serve.http.queue_wait_ewma_us",
+                    shared.ewma_wait_us.load(Ordering::Relaxed) as f64,
+                );
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + cfg.coalesce_window;
+        while jobs.len() < cfg.max_coalesce {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        shared.depth.fetch_sub(jobs.len(), Ordering::AcqRel);
+        for job in &jobs {
+            let wait_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            shared.record_wait(wait_us);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        mcond_obs::gauge_set(
+            "serve.http.queue_depth",
+            shared.depth.load(Ordering::Acquire) as f64,
+        );
+
+        let (batches, replies): (Vec<NodeBatch>, Vec<_>) =
+            jobs.into_iter().map(|j| (j.batch, j.reply)).unzip();
+        let results = match cfg.thread_limit {
+            Some(t) => {
+                mcond_par::with_thread_limit(t, || server.try_serve_many_traced(&batches))
+            }
+            None => server.try_serve_many_traced(&batches),
+        };
+        mcond_obs::counter_add("serve.http.batches", 1);
+        mcond_obs::counter_add("serve.http.coalesced", batches.len() as u64);
+        for (reply, slot) in replies.into_iter().zip(results) {
+            // A handler that already timed out dropped its receiver —
+            // nothing to do, the result is discarded.
+            let _ = reply.send(slot);
+        }
+    }
+}
+
+/// Maps a [`ServeError`] to its HTTP status and stable error kind.
+///
+/// | variant | status |
+/// |---|---|
+/// | `InvalidBatch` | 400 |
+/// | `BatchTooLarge` | 413 |
+/// | `NoAttachment` | 422 |
+/// | `FallbackUnavailable` | 503 |
+/// | `NonFiniteLogits` | 500 |
+/// | `Panicked` | 500 |
+#[must_use]
+pub fn serve_error_status(e: &ServeError) -> (u16, &'static str) {
+    match e {
+        ServeError::InvalidBatch(_) => (400, "invalid_batch"),
+        ServeError::BatchTooLarge { .. } => (413, "batch_too_large"),
+        ServeError::NoAttachment { .. } => (422, "no_attachment"),
+        ServeError::FallbackUnavailable { .. } => (503, "fallback_unavailable"),
+        ServeError::NonFiniteLogits => (500, "non_finite_logits"),
+        ServeError::Panicked { .. } => (500, "panicked"),
+    }
+}
+
+/// The JSON error envelope every non-200 response carries.
+fn error_body(kind: &str, message: &str) -> String {
+    Json::obj()
+        .with("error", Json::obj().with("kind", kind).with("message", message))
+        .dump()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_error_mapping_is_total_and_stable() {
+        use mcond_graph::BatchError;
+        let cases: Vec<(ServeError, u16, &str)> = vec![
+            (
+                ServeError::InvalidBatch(BatchError::NonFinite { component: "features" }),
+                400,
+                "invalid_batch",
+            ),
+            (ServeError::BatchTooLarge { len: 9, max: 1 }, 413, "batch_too_large"),
+            (ServeError::NoAttachment { node: 0, coverage: 0.0 }, 422, "no_attachment"),
+            (ServeError::FallbackUnavailable { node: 0 }, 503, "fallback_unavailable"),
+            (ServeError::NonFiniteLogits, 500, "non_finite_logits"),
+            (ServeError::Panicked { context: "boom".into() }, 500, "panicked"),
+        ];
+        for (e, status, kind) in cases {
+            assert_eq!(serve_error_status(&e), (status, kind), "{e}");
+            assert!(!crate::http::status_reason(status).is_empty());
+        }
+    }
+
+    #[test]
+    fn ewma_decays_to_readmission() {
+        let shared = Shared {
+            stop: AtomicBool::new(false),
+            depth: AtomicUsize::new(0),
+            ewma_wait_us: AtomicU64::new(1_000_000),
+            live_conns: AtomicUsize::new(0),
+            paused: Mutex::new(false),
+            unpause: Condvar::new(),
+        };
+        let cfg = ServeConfig { shed_wait_us: 1_000, ..ServeConfig::default() };
+        assert!(shared.overloaded(&cfg), "hot EWMA sheds");
+        for _ in 0..20 {
+            shared.decay_wait();
+        }
+        assert!(!shared.overloaded(&cfg), "idle decay readmits");
+    }
+}

@@ -1,0 +1,54 @@
+//! # mcond-serve — std-only HTTP serving front end
+//!
+//! Puts a socket in front of [`mcond_core::InductiveServer`]: the MCond
+//! deployment story (PAPER.md) is that inductive inference over the
+//! condensed mapping is cheap enough to serve interactively, and this
+//! crate is where that claim meets a wire. Hermeticity rule as
+//! everywhere in the workspace — `std::net::TcpListener` plus a small
+//! incremental HTTP/1.1 parser, no external crates.
+//!
+//! ## Endpoints
+//!
+//! | route | body | reply |
+//! |---|---|---|
+//! | `POST /v1/serve` | JSON [`NodeBatch`](mcond_graph::NodeBatch) (see [`codec`]) | `{"trace", "rows", "cols", "logits"}` + `x-mcond-trace` header |
+//! | `GET /metrics` | — | JSONL: per-server `metrics_snapshot()` line + process-wide registry line |
+//! | `GET /healthz` | — | `{"status": "ok", ...}` |
+//!
+//! ## Behaviour under load
+//!
+//! Requests landing within [`ServeConfig::coalesce_window`] of each
+//! other merge into one `try_serve_many` fan-out (adaptive
+//! micro-batching over the `mcond-par` pool); panic isolation there
+//! means a poisoned request answers `500` while its coalesced siblings
+//! answer `200`. A bounded job queue plus a queue-wait EWMA shed excess
+//! load with `429` + `Retry-After` and recover on their own once
+//! pressure drops. Every [`mcond_core::ServeError`] maps to a stable
+//! HTTP status ([`serve_error_status`]).
+//!
+//! ```no_run
+//! use mcond_serve::{boot_checkpoint, spawn, Client, ServeConfig};
+//! use std::time::Duration;
+//!
+//! let server = boot_checkpoint("model.mckpt")?;
+//! let handle = spawn(server, ServeConfig::default())?;
+//! println!("serving on {}", handle.addr());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The [`chaos`] module exports the malformed-HTTP corpus the protocol
+//! test suite drives, in the same catalogue style as
+//! [`mcond_core::chaos`].
+
+pub mod boot;
+pub mod chaos;
+pub mod client;
+pub mod codec;
+pub mod front;
+pub mod http;
+
+pub use boot::boot_checkpoint;
+pub use client::{Client, PostError, Response};
+pub use codec::{decode_batch, decode_logits, encode_batch, encode_logits, CodecError};
+pub use front::{serve_error_status, spawn, ServeConfig, ServeHandle};
+pub use http::{HttpError, HttpLimits};

@@ -1,0 +1,146 @@
+//! Seeded property fuzzing of the wire codec, in the same style as the
+//! store fault-injection suite: random `NodeBatch`es (including NaN/Inf
+//! contamination and empty shapes) must either round-trip bitwise or
+//! fail with a typed [`CodecError`]; random byte mutations and
+//! truncations of valid payloads must never panic the decoder.
+
+use mcond_graph::NodeBatch;
+use mcond_linalg::MatRng;
+use mcond_serve::{decode_batch, decode_logits, encode_batch, encode_logits, CodecError};
+use mcond_sparse::Coo;
+
+/// Draws a random batch: `n×d` features, `n×base` incremental, `n×n`
+/// interconnect, with occasional degenerate shapes.
+fn random_batch(rng: &mut MatRng, round: usize) -> NodeBatch {
+    let n = [0usize, 1, 2, 3, 5, 8][round % 6];
+    let d = 1 + round % 4;
+    let base = 1 + round % 5;
+    let features = rng.normal(n, d, 0.0, 10.0);
+    let mut inc = Coo::new(n, base);
+    let mut inter = Coo::new(n, n);
+    for i in 0..n {
+        inc.push(i, i % base, rng.normal(1, 1, 0.0, 1.0).get(0, 0));
+        if n > 1 {
+            inter.push(i, (i + 1) % n, 1.0);
+        }
+    }
+    NodeBatch {
+        features,
+        incremental: inc.to_csr(),
+        interconnect: inter.to_csr(),
+        labels: (0..n).map(|i| i % 2).collect(),
+    }
+}
+
+/// Seeds a deterministic corruption into the batch's floats.
+fn poison(batch: &mut NodeBatch, round: usize) {
+    if batch.features.rows() == 0 {
+        return;
+    }
+    let bad = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][round % 3];
+    batch.features.set(0, 0, bad);
+}
+
+#[test]
+fn clean_batches_round_trip_bitwise() {
+    let mut rng = MatRng::seed_from(0x5EED);
+    for round in 0..200 {
+        let batch = random_batch(&mut rng, round);
+        let text = encode_batch(&batch);
+        let back = decode_batch(&text)
+            .unwrap_or_else(|e| panic!("round {round}: clean batch failed decode: {e}"));
+        assert!(back.features.bit_eq(&batch.features), "round {round}: features drifted");
+        assert!(back.incremental.bit_eq(&batch.incremental), "round {round}: incremental");
+        assert!(back.interconnect.bit_eq(&batch.interconnect), "round {round}: interconnect");
+        assert_eq!(back.labels, batch.labels, "round {round}: labels");
+    }
+}
+
+#[test]
+fn non_finite_payloads_fail_typed_never_panic() {
+    let mut rng = MatRng::seed_from(0xBAD);
+    let mut typed_failures = 0;
+    for round in 0..120 {
+        let mut batch = random_batch(&mut rng, round);
+        poison(&mut batch, round);
+        match decode_batch(&encode_batch(&batch)) {
+            Ok(back) => {
+                // Empty batches have nothing to poison and stay clean.
+                assert_eq!(batch.features.rows(), 0, "round {round}: poison decoded");
+                assert_eq!(back.features.rows(), 0);
+            }
+            Err(CodecError::Type { field, .. }) => {
+                assert_eq!(field, "features", "round {round}");
+                typed_failures += 1;
+            }
+            Err(other) => panic!("round {round}: wrong error class: {other}"),
+        }
+    }
+    assert!(typed_failures > 50, "poisoning must actually exercise the error path");
+}
+
+#[test]
+fn logits_round_trip_bitwise_including_edge_floats() {
+    let specials: &[f32] = &[
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        1.0e-40, // subnormal
+        123_456.75,
+    ];
+    let mut rng = MatRng::seed_from(0xF10A7);
+    for round in 0..100 {
+        let rows = round % 5;
+        let cols = 1 + round % 3;
+        let mut logits = rng.normal(rows, cols, 0.0, 1.0e6);
+        if rows > 0 {
+            logits.set(0, 0, specials[round % specials.len()]);
+        }
+        let (trace, back) = decode_logits(&encode_logits(round as u64, &logits))
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(trace, round as u64);
+        assert!(back.bit_eq(&logits), "round {round}: logits drifted");
+    }
+}
+
+/// Byte-level adversarial pass: mutate or truncate a valid payload at a
+/// seeded random position. The decoder must return — `Ok` or typed
+/// `Err` — but never panic (the harness would abort on panic).
+#[test]
+fn mutated_and_truncated_payloads_never_panic() {
+    let mut rng = MatRng::seed_from(0xC0DEC);
+    let base = {
+        let batch = random_batch(&mut rng, 4);
+        encode_batch(&batch)
+    };
+    let draw = |rng: &mut MatRng, bound: usize| -> usize {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let v = (rng.normal(1, 1, 0.0, 1.0).get(0, 0).abs() * 1.0e4) as usize;
+        v % bound.max(1)
+    };
+    let mut outcomes = [0usize; 2];
+    for round in 0..600 {
+        let mut bytes = base.clone().into_bytes();
+        if round % 3 == 0 {
+            // Truncation.
+            bytes.truncate(draw(&mut rng, bytes.len()));
+        } else {
+            // Single-byte mutation over printable-ish space.
+            let pos = draw(&mut rng, bytes.len());
+            let delta = 1 + (draw(&mut rng, 94)) as u8;
+            bytes[pos] = 32 + (bytes[pos].wrapping_add(delta)) % 95;
+        }
+        // Non-UTF8 never reaches the codec in the server (the endpoint
+        // rejects it first); nothing to assert for that branch.
+        if let Ok(text) = String::from_utf8(bytes) {
+            match decode_batch(&text) {
+                Ok(_) => outcomes[0] += 1,
+                Err(_) => outcomes[1] += 1,
+            }
+        }
+    }
+    assert!(outcomes[1] > 100, "mutations must exercise the error paths: {outcomes:?}");
+}

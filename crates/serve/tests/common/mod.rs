@@ -1,0 +1,51 @@
+//! Shared fixture for the serve integration suites: the same 6-node toy
+//! split as `mcond-core`'s chaos sweep, leaked into `'static` servers the
+//! front end's connection threads can share.
+
+// Each test binary includes this module but uses a different subset.
+#![allow(dead_code)]
+
+use mcond_core::InductiveServer;
+use mcond_gnn::{GnnKind, GnnModel};
+use mcond_graph::{Graph, InductiveDataset};
+use mcond_linalg::{DMat, MatRng};
+use mcond_sparse::{Coo, Csr};
+use std::sync::Arc;
+
+/// Incremental width every request against the toy server must have
+/// (mapping rows for Eq. 11 serving).
+pub const INC_COLS: usize = 3;
+/// Feature dimension of the toy split.
+pub const FEATURE_DIM: usize = 3;
+
+/// 6-node toy split: train {0,1,2} triangle, val {3}, test {4,5}.
+pub fn dataset() -> InductiveDataset {
+    let mut coo = Coo::new(6, 6);
+    for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 0), (4, 1), (5, 2), (4, 5)] {
+        coo.push_sym(i, j, 1.0);
+    }
+    let features = MatRng::seed_from(7).normal(6, FEATURE_DIM, 0.0, 1.0);
+    let g = Graph::new(coo.to_csr(), features, vec![0, 1, 0, 1, 0, 1], 2);
+    InductiveDataset::new(g, vec![0, 1, 2], vec![3], vec![4, 5])
+}
+
+/// Synthetic-mode server over a leaked 2-node synthetic graph and 3x2
+/// mapping. `model_in_dim = FEATURE_DIM` gives a healthy server;
+/// `model_in_dim = 5` passes validation but panics inside the forward
+/// pass (the chaos-sweep misconfiguration), for exercising 500s.
+pub fn leaked_server(model_in_dim: usize) -> Arc<InductiveServer<'static>> {
+    let syn: &'static Graph = Box::leak(Box::new(Graph::new(
+        Csr::eye(2),
+        DMat::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]),
+        vec![0, 1],
+        2,
+    )));
+    let mut map = Coo::new(INC_COLS, 2);
+    map.push(0, 0, 0.5);
+    map.push(1, 0, 0.5);
+    map.push(2, 1, 1.0);
+    let mapping: &'static Csr = Box::leak(Box::new(map.to_csr()));
+    let model: &'static GnnModel =
+        Box::leak(Box::new(GnnModel::new(GnnKind::Gcn, model_in_dim, 4, 2, 1)));
+    Arc::new(InductiveServer::on_synthetic(syn, mapping, model))
+}

@@ -1,14 +1,21 @@
 //! Deployment serving: persist a condensation artifact, reload it, and
 //! serve inductive batches with the lazy [`InductiveServer`] — comparing
-//! its per-batch cost against the materialise-per-batch path.
+//! its per-batch cost against the materialise-per-batch path — then put
+//! the same artifact behind the `mcond-serve` HTTP front end and round-
+//! trip a batch over a real localhost socket.
 //!
 //! ```sh
 //! cargo run --release --example serving
 //! ```
+//!
+//! Set `MCOND_SERVE_HOLD_SECS=30` to keep the HTTP server alive after
+//! the demo so you can poke it with curl (the example prints a ready-to-
+//! paste command).
 
-use mcond::core::{load_condensed, save_condensed, InductiveServer};
+use mcond::core::{load_condensed, save_condensed, Checkpoint, InductiveServer};
 use mcond::prelude::*;
-use std::time::Instant;
+use mcond::serve::{boot_checkpoint, encode_batch, spawn, Client};
+use std::time::{Duration, Instant};
 
 fn main() {
     // Condense once (the "offline" phase).
@@ -88,4 +95,53 @@ fn main() {
         "serving speedup: {:.2}x (identical logits by construction)",
         eager_time.as_secs_f64() / lazy_time.as_secs_f64().max(1e-12)
     );
+
+    // ── Network serving ────────────────────────────────────────────────
+    // Bundle the deployable triple (S, M, weights) as one checkpoint,
+    // boot an HTTP front end from the file alone, and verify a wire
+    // round trip is bitwise identical to the library call.
+    let ckpt_path = std::env::temp_dir().join("mcond_serving_demo.mckpt");
+    let bytes = Checkpoint::new(artifact.synthetic.clone(), artifact.mapping.clone(), model)
+        .expect("artifact sections agree")
+        .save(&ckpt_path)
+        .expect("write checkpoint");
+    println!("\ncheckpoint: {} ({bytes} bytes)", ckpt_path.display());
+
+    let booted = boot_checkpoint(&ckpt_path).expect("boot from checkpoint");
+    std::fs::remove_file(&ckpt_path).ok();
+    let handle = spawn(booted.clone(), ServeConfig::default()).expect("bind localhost");
+    println!("HTTP front end listening on http://{}", handle.addr());
+
+    let demo = &batches[0];
+    let direct = booted.try_serve(demo).expect("library serve");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(10)).expect("connect");
+    let (trace, wire) = client.post_batch(demo).expect("HTTP serve");
+    assert!(
+        wire.bit_eq(&direct),
+        "HTTP logits must be bitwise identical to the library call"
+    );
+    println!(
+        "POST /v1/serve: {} logits rows over the socket, bitwise equal to try_serve \
+         (trace id {trace})",
+        wire.rows()
+    );
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    println!("GET /healthz: {} {}", health.status, health.text());
+
+    // A request body for manual exploration.
+    let body_path = std::env::temp_dir().join("mcond_serving_demo_batch.json");
+    std::fs::write(&body_path, encode_batch(demo)).expect("write demo batch");
+    println!(
+        "\ntry it yourself:\n  curl -s -X POST http://{}/v1/serve --data-binary @{}\n  \
+         curl -s http://{}/metrics",
+        handle.addr(),
+        body_path.display(),
+        handle.addr()
+    );
+    if let Ok(hold) = std::env::var("MCOND_SERVE_HOLD_SECS") {
+        let secs: u64 = hold.parse().unwrap_or(30);
+        println!("holding the server for {secs}s (MCOND_SERVE_HOLD_SECS)...");
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+    handle.shutdown();
 }

@@ -22,7 +22,9 @@
 //!   artifacts ([`core::Checkpoint`] bundles `S`, `M` and the weights),
 //! * [`propagate`] — label & error propagation calibration,
 //! * [`par`] — the deterministic worker pool behind the kernels
-//!   (`MCOND_THREADS`; results are bitwise identical at any thread count).
+//!   (`MCOND_THREADS`; results are bitwise identical at any thread count),
+//! * [`serve`] — the std-only HTTP/1.1 front end: `POST /v1/serve` with
+//!   adaptive micro-batching and load shedding over a live socket.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,7 @@ pub use mcond_linalg as linalg;
 pub use mcond_obs as obs;
 pub use mcond_propagate as propagate;
 pub use mcond_par as par;
+pub use mcond_serve as serve;
 pub use mcond_sparse as sparse;
 pub use mcond_store as store;
 
@@ -83,6 +86,7 @@ pub mod prelude {
     };
     pub use mcond_linalg::{DMat, MatRng};
     pub use mcond_propagate::{error_propagation, label_propagation, PropagationConfig};
+    pub use mcond_serve::{ServeConfig, ServeHandle};
     pub use mcond_sparse::{sparsify_dense, sym_normalize, Coo, Csr};
     pub use mcond_store::StoreError;
 }
