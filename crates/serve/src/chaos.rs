@@ -64,6 +64,20 @@ pub fn protocol_corpus(
         limits.max_body_bytes + 1
     );
     let stall = read_timeout + Duration::from_millis(300);
+    // Allocation-bomb shape: a tiny, syntactically valid
+    // request declaring 9e15 sparse rows. The codec must answer 400
+    // without sizing anything from the declaration (an attempted
+    // allocation would abort the process, which the suite would see as a
+    // dead server on the next case).
+    let alloc_bomb_body = format!(
+        "{{\"feature_dim\": {feature_dim}, \"features\": [], \"incremental\": \
+         {{\"rows\": 9000000000000000, \"cols\": {inc_cols}, \"entries\": []}}}}"
+    );
+    let alloc_bomb = format!(
+        "POST /v1/serve HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        alloc_bomb_body.len(),
+        alloc_bomb_body
+    );
     // A valid empty batch, dribbled across four writes: headers split
     // mid-name, body split mid-object. Robust framing must reassemble it
     // and answer 200.
@@ -119,6 +133,18 @@ pub fn protocol_corpus(
         ProtocolCase {
             name: "negative_content_length",
             writes: vec![req("POST /v1/serve HTTP/1.1\r\ncontent-length: -5\r\n\r\n")],
+            expect: Expect::Statuses(&[400]),
+        },
+        ProtocolCase {
+            name: "conflicting_content_lengths",
+            writes: vec![req(
+                "POST /v1/serve HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 8\r\n\r\n{}",
+            )],
+            expect: Expect::Statuses(&[400]),
+        },
+        ProtocolCase {
+            name: "huge_declared_sparse_rows",
+            writes: vec![ChaosWrite::Bytes(alloc_bomb.into_bytes())],
             expect: Expect::Statuses(&[400]),
         },
         ProtocolCase {

@@ -4,12 +4,12 @@
 //! serde). The decoder is *total*: any byte string either decodes to a
 //! structurally well-formed batch or returns a typed [`CodecError`], never
 //! a panic — the seeded fuzz suite (`codec_fuzz` test) drives random,
-//! truncated, and bit-mutated payloads through it to prove that. Semantic
-//! validation against the serving base (incremental width, feature
-//! dimension, label count) is deliberately *not* done here: the decoder
-//! accepts any self-consistent shape and lets
-//! [`NodeBatch::validate_against`] produce its usual typed `ServeError`,
-//! so wire requests fail exactly like library requests.
+//! truncated, and bit-mutated payloads through it to prove that. The
+//! decoder also refuses to let client-declared shapes drive allocations
+//! (see the shape-bounds paragraph below); within those bounds it accepts
+//! any self-consistent shape and lets [`NodeBatch::validate_against`]
+//! produce its usual typed `ServeError`, so wire requests fail exactly
+//! like library requests.
 //!
 //! # Request format (`POST /v1/serve`)
 //!
@@ -30,9 +30,22 @@
 //! `feature_dim` is required only when `features` is empty (the empty
 //! batch still has a feature width to validate); `labels` and the whole
 //! `interconnect` object are optional. Numbers must be finite: JSON has no
-//! `NaN`/`Infinity`, and a non-finite f32 on the encode side serialises as
-//! `null`, which the decoder rejects with a typed error — the wire cannot
-//! smuggle a non-finite value past validation.
+//! `NaN`/`Infinity`, a non-finite f32 on the encode side serialises as
+//! `null`, and the decoder rejects both `null` and any finite f64 whose
+//! f32 cast overflows to infinity — the wire cannot smuggle a non-finite
+//! value past validation.
+//!
+//! Declared shapes are resource-bounded before anything is allocated
+//! from them: a sparse `rows` must equal the batch's node count (a
+//! mismatch could only fail `validate_against` later, but CSR conversion
+//! allocates `rows + 1` slots *first*, so a lying declaration must die at
+//! decode time, not after a multi-petabyte allocation attempt), and
+//! `cols` is capped at [`MAX_WIRE_COLS`] — the CSR representation stores
+//! column indices as `u32`, so wider matrices are unrepresentable
+//! anyway. Within those bounds, *semantic* validation against the
+//! serving base (incremental width, feature dimension, label count) is
+//! still deliberately deferred to [`NodeBatch::validate_against`], so
+//! wire requests fail exactly like library requests.
 //!
 //! Round-trip fidelity is **bitwise** for finite values: `f32 → f64`
 //! widening is exact, the writer emits shortest-round-trip decimal (and
@@ -44,6 +57,21 @@ use mcond_linalg::DMat;
 use mcond_obs::Json;
 use mcond_sparse::{Coo, Csr};
 use std::fmt;
+
+/// Widest sparse matrix the wire accepts: CSR stores column indices as
+/// `u32`, so any declared `cols` beyond this is unrepresentable and is
+/// rejected with [`CodecError::ColsTooLarge`] before anything is built
+/// from it.
+pub const MAX_WIRE_COLS: usize = u32::MAX as usize;
+
+/// Clamp on `Vec::with_capacity` sizing hints derived from
+/// client/server-declared shapes (features `n × dim`, logits
+/// `rows × cols`). Per-element validation still bounds the vectors'
+/// *real* growth by the payload's actual contents; the clamp only stops
+/// a lying declaration from forcing a huge up-front allocation (Rust
+/// aborts the process when an allocation fails, so an unclamped hint is
+/// a single-request denial of service).
+const PREALLOC_CLAMP: usize = 1 << 20;
 
 /// Why a wire payload failed to decode. Every variant maps to HTTP `400`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,6 +124,26 @@ pub enum CodecError {
         /// Dotted path of the offending field.
         field: &'static str,
     },
+    /// A sparse matrix declares a row count different from the batch's
+    /// node count. Rejected at decode time because CSR conversion
+    /// allocates `rows + 1` slots before semantic validation would run.
+    RowCountMismatch {
+        /// Which sparse field.
+        field: &'static str,
+        /// Declared row count.
+        got: usize,
+        /// The batch's node count.
+        expected: usize,
+    },
+    /// A sparse matrix declares a column count beyond [`MAX_WIRE_COLS`].
+    ColsTooLarge {
+        /// Which sparse field.
+        field: &'static str,
+        /// Declared column count.
+        got: usize,
+        /// The [`MAX_WIRE_COLS`] cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -120,6 +168,13 @@ impl fmt::Display for CodecError {
             ),
             CodecError::BadIndex { field } => {
                 write!(f, "field {field:?} must be a non-negative integer")
+            }
+            CodecError::RowCountMismatch { field, got, expected } => write!(
+                f,
+                "{field} declares {got} rows but the batch has {expected} nodes"
+            ),
+            CodecError::ColsTooLarge { field, got, max } => {
+                write!(f, "{field} declares {got} columns, above the {max} cap")
             }
         }
     }
@@ -186,7 +241,7 @@ pub fn batch_from_json(json: &Json) -> Result<NodeBatch, CodecError> {
             return Err(CodecError::Ragged { row: 0, got: first_width, expected: d });
         }
     }
-    let mut data = Vec::with_capacity(n * first_width);
+    let mut data = Vec::with_capacity(n.saturating_mul(first_width).min(PREALLOC_CLAMP));
     for (i, row) in rows.iter().enumerate() {
         let row = row
             .as_arr()
@@ -269,7 +324,7 @@ pub fn decode_logits(text: &str) -> Result<(u64, DMat), CodecError> {
     if body.len() != rows {
         return Err(CodecError::Type { field: "logits", expected: "exactly `rows` rows" });
     }
-    let mut data = Vec::with_capacity(rows * cols);
+    let mut data = Vec::with_capacity(rows.saturating_mul(cols).min(PREALLOC_CLAMP));
     for row in body {
         let row = row
             .as_arr()
@@ -295,10 +350,13 @@ fn csr_to_json(m: &Csr) -> Json {
     )
 }
 
-/// Decodes a sparse object. `default_rows` is the batch's node count;
-/// `default_cols` is `Some(n)` for the interconnect (square by default)
-/// and `None` for the incremental matrix, whose `cols` — the base-graph
-/// width — the client must declare.
+/// Decodes a sparse object. `default_rows` is the batch's node count —
+/// an explicit `rows` must *equal* it (module docs: CSR conversion
+/// allocates `rows + 1` slots, so a lying declaration is rejected before
+/// anything is sized from it); `default_cols` is `Some(n)` for the
+/// interconnect (square by default) and `None` for the incremental
+/// matrix, whose `cols` — the base-graph width — the client must
+/// declare, bounded by [`MAX_WIRE_COLS`].
 fn csr_from_json(
     json: &Json,
     field: &'static str,
@@ -312,11 +370,17 @@ fn csr_from_json(
         Some(v) => parse_index(v, field)?,
         None => default_rows,
     };
+    if rows != default_rows {
+        return Err(CodecError::RowCountMismatch { field, got: rows, expected: default_rows });
+    }
     let cols = match (json.get("cols"), default_cols) {
         (Some(v), _) => parse_index(v, field)?,
         (None, Some(d)) => d,
         (None, None) => return Err(CodecError::Missing("incremental.cols")),
     };
+    if cols > MAX_WIRE_COLS {
+        return Err(CodecError::ColsTooLarge { field, got: cols, max: MAX_WIRE_COLS });
+    }
     let entries = match json.get("entries") {
         Some(j) => j
             .as_arr()
@@ -340,11 +404,20 @@ fn csr_from_json(
     Ok(coo.to_csr())
 }
 
-/// A finite f32, rejecting `null` (the writer's spelling of NaN/Inf) and
-/// anything non-numeric.
+/// A finite f32, rejecting `null` (the writer's spelling of NaN/Inf),
+/// anything non-numeric, and finite f64s whose f32 cast overflows to
+/// infinity (e.g. `1e39`) — the *narrowed* value is what must be finite.
 fn parse_f32(json: &Json, field: &'static str) -> Result<f32, CodecError> {
     match json {
-        Json::Num(v) if v.is_finite() => Ok(*v as f32),
+        Json::Num(v) if v.is_finite() => {
+            #[allow(clippy::cast_possible_truncation)]
+            let f = *v as f32;
+            if f.is_finite() {
+                Ok(f)
+            } else {
+                Err(CodecError::Type { field, expected: "a finite number" })
+            }
+        }
         _ => Err(CodecError::Type { field, expected: "a finite number" }),
     }
 }
@@ -463,17 +536,104 @@ mod tests {
     }
 
     #[test]
-    fn wrong_declared_shapes_decode_and_fail_batch_validation_later() {
-        // The codec accepts a self-consistent but semantically wrong shape
-        // (interconnect 3x3 for a 1-node batch) — validate_against owns
-        // that rejection, so HTTP requests fail exactly like library calls.
+    fn wrong_declared_cols_decode_and_fail_batch_validation_later() {
+        // Within the resource bounds the codec still accepts semantically
+        // wrong widths (interconnect 1x3 for a 1-node batch, incremental
+        // cols 4 against a 5-wide base) — validate_against owns those
+        // rejections, so HTTP requests fail exactly like library calls.
         let batch = decode_batch(
             r#"{"features": [[1.0]],
                 "incremental": {"cols": 4, "entries": []},
-                "interconnect": {"rows": 3, "cols": 3, "entries": []}}"#,
+                "interconnect": {"cols": 3, "entries": []}}"#,
         )
         .unwrap();
-        assert!(batch.validate_against(4, 1).is_err());
+        assert!(batch.validate_against(5, 1).is_err());
+    }
+
+    #[test]
+    fn lying_row_declarations_die_at_decode_without_allocating() {
+        // The remote-DoS shape: a tiny request declaring 9e15 rows
+        // would force a ~72 PB indptr allocation in to_csr if it got that
+        // far. It must be a typed error instead — for absurd counts and
+        // for any mismatch at all.
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1.0]],
+                    "incremental": {"rows": 9000000000000000, "cols": 2, "entries": []}}"#,
+            )
+            .unwrap_err(),
+            CodecError::RowCountMismatch {
+                field: "incremental",
+                got: 9_000_000_000_000_000,
+                expected: 1
+            }
+        );
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1.0]],
+                    "incremental": {"cols": 2, "entries": []},
+                    "interconnect": {"rows": 3, "cols": 3, "entries": []}}"#,
+            )
+            .unwrap_err(),
+            CodecError::RowCountMismatch { field: "interconnect", got: 3, expected: 1 }
+        );
+    }
+
+    #[test]
+    fn cols_beyond_the_u32_representation_are_rejected() {
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1.0]],
+                    "incremental": {"cols": 9000000000000000, "entries": []}}"#,
+            )
+            .unwrap_err(),
+            CodecError::ColsTooLarge {
+                field: "incremental",
+                got: 9_000_000_000_000_000,
+                max: MAX_WIRE_COLS
+            }
+        );
+        // The cap itself is fine.
+        let batch = decode_batch(&format!(
+            r#"{{"features": [[1.0]], "incremental": {{"cols": {MAX_WIRE_COLS}, "entries": []}}}}"#
+        ))
+        .unwrap();
+        assert_eq!(batch.incremental.cols(), MAX_WIRE_COLS);
+    }
+
+    #[test]
+    fn f64_values_overflowing_f32_are_rejected_as_non_finite() {
+        // 1e39 is a finite f64 but saturates to +inf as an f32; the
+        // decoder's invariant is about the narrowed value.
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1e39]], "incremental": {"cols": 2, "entries": []}}"#
+            )
+            .unwrap_err(),
+            CodecError::Type { field: "features", expected: "a finite number" }
+        );
+        assert_eq!(
+            decode_batch(
+                r#"{"features": [[1.0]],
+                    "incremental": {"cols": 2, "entries": [[0, 0, -1e309]]}}"#
+            )
+            .unwrap_err(),
+            CodecError::Type { field: "incremental", expected: "a finite number" }
+        );
+    }
+
+    #[test]
+    fn lying_logits_shape_cannot_force_a_huge_preallocation() {
+        // Server responses are trusted less than they should be: a
+        // declared cols of 9e15 must fail on the first row's width check,
+        // not abort the client in Vec::with_capacity.
+        assert_eq!(
+            decode_logits(
+                r#"{"trace": 1, "rows": 1, "cols": 9000000000000000, "logits": [[1.0]]}"#
+            )
+            .unwrap_err(),
+            CodecError::Type { field: "logits", expected: "exactly `cols` columns" }
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub enum HttpError {
     BadHeader,
     /// Request line + headers exceed [`HttpLimits::max_header_bytes`].
     HeaderTooLarge,
-    /// `Content-Length` is present but not a non-negative integer.
+    /// `Content-Length` is present but not a non-negative integer, or
+    /// appears more than once with conflicting values (RFC 9112 §6.3 —
+    /// behind a proxy that picks the other value, honouring either copy
+    /// silently is a request-smuggling vector).
     BadContentLength,
     /// A method that carries a body arrived without `Content-Length`.
     LengthRequired,
@@ -215,8 +218,19 @@ impl RequestParser {
         if headers.iter().any(|(k, _)| k == "transfer-encoding") {
             return Err(HttpError::UnsupportedTransferEncoding);
         }
-        let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
-            Some((_, v)) => {
+        let mut declared: Option<&str> = None;
+        for (k, v) in &headers {
+            if k == "content-length" {
+                // Identical repeats collapse (RFC 9112 allows that);
+                // conflicting values are a desync vector and fatal.
+                if declared.is_some_and(|prev| prev != v) {
+                    return Err(HttpError::BadContentLength);
+                }
+                declared = Some(v);
+            }
+        }
+        let body_len = match declared {
+            Some(v) => {
                 let len: usize = v.parse().map_err(|_| HttpError::BadContentLength)?;
                 if len > self.limits.max_body_bytes {
                     return Err(HttpError::BodyTooLarge {
@@ -379,9 +393,23 @@ mod tests {
         );
         assert_eq!(parse_one(b"POST / HTTP/1.1\r\n\r\n").unwrap_err(), HttpError::LengthRequired);
         assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\nhello?")
+                .unwrap_err(),
+            HttpError::BadContentLength,
+            "conflicting duplicate content-lengths are a smuggling vector"
+        );
+        assert_eq!(
             parse_one(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err(),
             HttpError::UnsupportedTransferEncoding
         );
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_collapse() {
+        let req = parse_one(b"POST / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 5\r\n\r\nhello")
+            .unwrap()
+            .expect("complete request");
+        assert_eq!(req.body, b"hello");
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub mod http;
 
 pub use boot::boot_checkpoint;
 pub use client::{Client, PostError, Response};
-pub use codec::{decode_batch, decode_logits, encode_batch, encode_logits, CodecError};
+pub use codec::{
+    decode_batch, decode_logits, encode_batch, encode_logits, CodecError, MAX_WIRE_COLS,
+};
 pub use front::{serve_error_status, spawn, ServeConfig, ServeHandle};
 pub use http::{HttpError, HttpLimits};
