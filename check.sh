@@ -14,8 +14,10 @@ for cmd in \
     "cargo run --release --example robust_serving" \
     "cargo run --release --example inference_acceleration" \
     "cargo run --release --example serving" \
+    "cargo test --release -p mcond-serve --test reload_chaos --test drain_deadline" \
     "cargo bench -p mcond-bench --bench serve_fastpath" \
     "cargo bench -p mcond-bench --bench serving_qps" \
+    "cargo bench -p mcond-bench --bench reload_swap" \
     "cargo bench -p mcond-bench --bench obs" \
     "cargo bench -p mcond-bench --bench kernels_simd" \
     "cargo run --release -p mcond-bench --bin trace-report -- target/robust_serving_trace.jsonl"
@@ -66,9 +68,19 @@ cargo run --release --example serving
 # Fast-path bench smoke (tiny sample budget): regenerates
 # results/BENCH_serve_fastpath.json and re-checks the bitwise guard.
 MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench serve_fastpath
+# Hot-swap robustness in release timing: ≥100 reloads under closed-loop
+# load with epoch-verified bitwise answers, corrupt-bundle storms, and
+# watchdog recovery of panicked/stalled batchers; plus graceful-drain and
+# deadline-budget contracts.
+cargo test --release -p mcond-serve --test reload_chaos --test drain_deadline
 # Closed-loop HTTP load-generator smoke (short levels): regenerates
-# results/BENCH_serving_qps.json after verifying wire responses bitwise.
+# results/BENCH_serving_qps.json after verifying wire responses bitwise
+# and asserting RSS stays flat across 50 hot reloads.
 MCOND_QPS_MS=300 cargo bench -p mcond-bench --bench serving_qps
+# Reload-under-load smoke: regenerates results/BENCH_reload_swap.json —
+# p50/p99 with vs without a concurrent reload storm, every answer verified
+# against the epoch its header claims.
+MCOND_RELOAD_MS=300 cargo bench -p mcond-bench --bench reload_swap
 # Observability overhead smoke: sink-off vs sharded-registry vs full
 # tracing at 1 and 4 threads; regenerates results/BENCH_obs_overhead.json.
 MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench obs

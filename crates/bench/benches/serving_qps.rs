@@ -1,11 +1,16 @@
 //! Closed-loop HTTP serving load generator: p50/p99 latency vs offered
 //! QPS over a real localhost socket.
 //!
-//! A pubmed-small original-graph server runs behind the `mcond-serve`
-//! front end; before any timing, every batch's HTTP response is verified
-//! bitwise identical to a direct `try_serve` call, so the numbers below
-//! are for provably-correct responses. Then each offered-QPS level runs
-//! a paced closed-loop: every client thread schedules sends at its share
+//! A pubmed-small checkpoint (original training graph behind an identity
+//! mapping) is saved to disk, booted through the owned-epoch path
+//! (`boot_slot`), and served behind the `mcond-serve` front end — the
+//! same artifact-file lifecycle production uses, with nothing leaked.
+//! Before any timing, every batch's HTTP response is verified bitwise
+//! identical to a direct `try_serve` call, so the numbers below are for
+//! provably-correct responses; then 50 hot reloads of the same bundle
+//! must leave process RSS flat — the guard that the epoch machinery
+//! actually frees retired checkpoints. Each offered-QPS level runs a
+//! paced closed-loop: every client thread schedules sends at its share
 //! of the offered rate but never pipelines — it waits for each response
 //! before the next send, so latency feedback throttles the achieved rate
 //! the way real callers do. Shed responses (429) are counted separately
@@ -17,16 +22,19 @@
 //! Output: `results/BENCH_serving_qps.json`.
 
 use mcond_bench::{print_table, Row, TableReport};
-use mcond_core::InductiveServer;
+use mcond_core::Checkpoint;
 use mcond_gnn::{GnnKind, GnnModel};
 use mcond_graph::{load_dataset, NodeBatch, Scale};
-use mcond_serve::{spawn, Client, PostError, ServeConfig};
+use mcond_serve::{boot_slot, spawn, Client, PostError, ServeConfig};
+use mcond_sparse::Csr;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const OFFERED_QPS: [f64; 3] = [100.0, 400.0, 1600.0];
+/// Hot reloads the RSS-flatness guard performs.
+const RELOADS: usize = 50;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -39,6 +47,19 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let rank = (q * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Resident set size in KiB from `/proc/self/status` (Linux only; `None`
+/// elsewhere, which skips the flatness assertion).
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
 }
 
 struct LevelOutcome {
@@ -115,19 +136,28 @@ fn run_level(
 
 fn main() {
     let data = load_dataset("pubmed", Scale::Small, 0).expect("pubmed generator");
-    let original = Box::leak(Box::new(data.original_graph()));
-    let model = Box::leak(Box::new(GnnModel::new(
+    let original = data.original_graph();
+    let n_train = original.num_nodes();
+    let model = GnnModel::new(
         GnnKind::Gcn,
         data.full.feature_dim(),
         16,
         data.full.num_classes,
         2,
-    )));
-    let server = Arc::new(InductiveServer::on_original(original, model));
+    );
+    // Identity mapping over the training graph: the original-graph serving
+    // setting (Eq. 3) expressed as a bootable checkpoint artifact.
+    let ckpt = Checkpoint::new(original, Csr::eye(n_train), model).expect("bundle agrees");
+    let ckpt_path = std::env::temp_dir()
+        .join(format!("mcond_bench_qps_{}.mcst", std::process::id()));
+    let ckpt_bytes = ckpt.save(&ckpt_path).expect("save checkpoint");
+    drop(ckpt);
+
+    let slot = boot_slot(&ckpt_path).expect("boot from checkpoint");
     let batches = Arc::new(data.test_batches(25, true));
 
     let handle = spawn(
-        Arc::clone(&server),
+        Arc::clone(&slot),
         ServeConfig {
             coalesce_window: Duration::from_micros(200),
             ..ServeConfig::default()
@@ -137,11 +167,12 @@ fn main() {
     let addr = handle.addr();
 
     // Correctness before latency: every batch's HTTP logits must be
-    // bitwise identical to the direct library call.
+    // bitwise identical to the direct library call on the boot epoch.
     {
+        let epoch = slot.load();
         let mut client = Client::connect(addr, Duration::from_secs(30)).expect("connect");
         for (i, batch) in batches.iter().enumerate() {
-            let direct = server.try_serve(batch).expect("batch valid");
+            let direct = epoch.server().try_serve(batch).expect("batch valid");
             let (_, wire) = client.post_batch(batch).expect("HTTP serve");
             assert!(
                 wire.bit_eq(&direct),
@@ -152,6 +183,36 @@ fn main() {
             "verified {} batches bitwise identical over the socket",
             batches.len()
         );
+    }
+
+    // Leak guard: 50 hot reloads of the same bundle must leave RSS flat.
+    // Every reload loads + canaries + installs a fresh epoch; the retired
+    // one must free once the slot drops it — per-reload growth means the
+    // `Box::leak` era came back.
+    {
+        let before_kb = rss_kb();
+        for i in 0..RELOADS {
+            handle.reload(&ckpt_path).unwrap_or_else(|e| panic!("reload {i}: {e}"));
+        }
+        assert_eq!(handle.epoch(), 1 + RELOADS as u64, "one epoch per reload");
+        if let (Some(before), Some(after)) = (before_kb, rss_kb()) {
+            let growth_kb = after.saturating_sub(before);
+            let ckpt_kb = ckpt_bytes.div_ceil(1024);
+            // A real leak retains ~RELOADS× the checkpoint; allow ample
+            // allocator noise below that.
+            let budget_kb = (10 * ckpt_kb).max(16 * 1024);
+            println!(
+                "rss after {RELOADS} reloads: {before} KiB -> {after} KiB \
+                 (growth {growth_kb} KiB, budget {budget_kb} KiB, bundle {ckpt_kb} KiB)"
+            );
+            assert!(
+                growth_kb < budget_kb,
+                "process RSS grew {growth_kb} KiB across {RELOADS} reloads \
+                 (budget {budget_kb} KiB): retired epochs are not being freed"
+            );
+        } else {
+            println!("rss flatness guard skipped: /proc/self/status unavailable");
+        }
     }
 
     let duration = Duration::from_millis(env_usize("MCOND_QPS_MS", 1500) as u64);
@@ -181,4 +242,5 @@ fn main() {
         eprintln!("cannot write {path}: {e}");
     }
     handle.shutdown();
+    std::fs::remove_file(&ckpt_path).ok();
 }

@@ -115,6 +115,26 @@ impl Checkpoint {
         Ok(ckpt)
     }
 
+    /// Reads a bundle for hot-swap serving: every section's CRC is checked
+    /// up front ([`CheckpointReader::verify_sections`]) — not only the
+    /// sections the decoder touches — before the usual decode and
+    /// cross-section validation. Returns the checkpoint together with its
+    /// [content id](CheckpointReader::content_id), the stable fingerprint a
+    /// serving layer reports as the epoch's checkpoint id.
+    ///
+    /// # Errors
+    /// Same contract as [`Checkpoint::load`], plus a typed
+    /// [`StoreError::ChecksumMismatch`] for damage anywhere in the file.
+    pub fn load_for_serving(path: impl AsRef<Path>) -> Result<(Self, String), StoreError> {
+        let start = Instant::now();
+        let reader = CheckpointReader::open(path.as_ref())?;
+        reader.verify_sections()?;
+        let id = reader.content_id();
+        let ckpt = Self::from_reader(&reader)?;
+        mcond_obs::histogram_record("store.load.ms", start.elapsed().as_secs_f64() * 1e3);
+        Ok((ckpt, id))
+    }
+
     /// Decodes a bundle from an in-memory image (the fault-injection sweep
     /// uses this to probe thousands of corrupted variants without touching
     /// the filesystem).

@@ -55,6 +55,23 @@ pub enum ServeError {
         /// The panic payload's message, when it carried one.
         context: String,
     },
+    /// The request's deadline budget expired while it waited in a serving
+    /// queue; it was answered without occupying a batch slot so live
+    /// requests behind it are not delayed by work nobody is waiting for.
+    DeadlineExceeded {
+        /// How long the request had waited when the budget was checked.
+        waited_ms: u64,
+        /// The budget the caller (or the front end's default) granted.
+        budget_ms: u64,
+    },
+    /// The serving runtime abandoned the request without computing logits —
+    /// the batcher watchdog respawned a stalled worker and failed its
+    /// orphaned queue entries, or the server shut down with the request
+    /// still queued. The request may be retried against a healthy server.
+    Aborted {
+        /// What the runtime was doing when it gave the request up.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -79,6 +96,14 @@ impl fmt::Display for ServeError {
             }
             ServeError::Panicked { context } => {
                 write!(f, "request panicked inside the server: {context}")
+            }
+            ServeError::DeadlineExceeded { waited_ms, budget_ms } => write!(
+                f,
+                "request deadline of {budget_ms} ms expired after {waited_ms} ms \
+                 in the serving queue"
+            ),
+            ServeError::Aborted { reason } => {
+                write!(f, "request abandoned by the serving runtime: {reason}")
             }
         }
     }

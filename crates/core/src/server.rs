@@ -323,7 +323,19 @@ impl<'a> InductiveServer<'a> {
     }
 
     /// The incremental-adjacency width every request must have: training
-    /// nodes for Eq. 3 serving, mapping rows for Eq. 11.
+    /// nodes for Eq. 3 serving, mapping rows for Eq. 11. Callers building
+    /// synthetic probe batches (e.g. a reload canary) size them with this.
+    #[must_use]
+    pub fn expected_incremental_cols(&self) -> usize {
+        self.expected_inc_cols()
+    }
+
+    /// Feature dimension every request's rows must have.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.base_features.cols()
+    }
+
     fn expected_inc_cols(&self) -> usize {
         self.mapping.map_or_else(|| self.base_adj.rows(), Csr::rows)
     }

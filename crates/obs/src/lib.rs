@@ -110,7 +110,32 @@
 //!   accepted / refused at the `max_connections` bound;
 //! * `serve.http.queue_depth`, `serve.http.queue_wait_ewma_us` —
 //!   gauges: jobs waiting in the batching queue and the smoothed
-//!   queue-wait backpressure signal.
+//!   queue-wait backpressure signal;
+//! * `serve.http.deadline_expired` — queued requests whose
+//!   `x-mcond-deadline-ms` budget (or the configured default) ran out
+//!   before fan-out; answered `503 deadline_exceeded`, never computed.
+//!
+//! Hot reload and batcher supervision emit `serve.reload.*` /
+//! `serve.watchdog.*`:
+//!
+//! * `serve.reload.ok` — checkpoints validated, canaried, and swapped
+//!   in (each bumps the serving epoch by exactly one);
+//! * `serve.reload.failed` — reload attempts rejected by the store
+//!   (CRC/shape/decode) or by the canary forward pass; the live epoch
+//!   is untouched and the failure arms the exponential backoff;
+//! * `serve.reload.rejected_busy` — attempts answered `409` because
+//!   another reload held the admin lock;
+//! * `serve.reload.rejected_backoff` — attempts answered `429` inside
+//!   the post-failure backoff window;
+//! * `serve.reload.epoch` — gauge: the currently serving epoch
+//!   (mirrors the `x-mcond-epoch` response header);
+//! * `serve.reload.ms` — histogram: wall time of successful reloads,
+//!   load through swap;
+//! * `serve.watchdog.restarts` — batcher threads respawned after a
+//!   missed heartbeat (panic or stall); the flight recorder dumps a
+//!   `serve.watchdog.stall` report on each;
+//! * `serve.watchdog.orphans` — in-flight requests answered a typed
+//!   `503` because their batcher generation was retired mid-service.
 //!
 //! # Example
 //! ```

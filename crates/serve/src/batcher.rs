@@ -1,0 +1,235 @@
+//! The micro-batching worker and its supervisor.
+//!
+//! The **batcher** coalesces queued jobs, expires overdue deadlines, and
+//! runs one `try_serve_many_traced` fan-out per merged batch on the
+//! current epoch. It beats a heartbeat every loop tick (and while paused);
+//! the fan-out itself does not, which is exactly the property the
+//! **watchdog** supervises: a heartbeat older than `watchdog_period`
+//! means the batcher is wedged (or dead of a panic), so the watchdog
+//! dumps the flight recorder, answers the in-flight orphans with typed
+//! `503`s, bumps the batcher generation, and spawns a replacement. A
+//! wedged predecessor that eventually wakes observes the stale generation
+//! and retires without touching the queue — at most one live consumer,
+//! always.
+
+use crate::front::{ServeConfig, Shared};
+use crate::queue::{Job, Pop};
+use mcond_core::ServeError;
+use mcond_graph::NodeBatch;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Spawns generation `gen` of the batcher. `None` only when the OS
+/// refuses a thread.
+pub(crate) fn spawn_batcher(
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+    gen: u64,
+) -> Option<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let cfg = cfg.clone();
+    thread::Builder::new()
+        .name(format!("mcond-serve-batcher-{gen}"))
+        .spawn(move || batcher_loop(&shared, &cfg, gen))
+        .ok()
+}
+
+fn batcher_loop(shared: &Arc<Shared>, cfg: &ServeConfig, gen: u64) {
+    loop {
+        if shared.stop.load(Ordering::Acquire)
+            || gen != shared.batcher_gen.load(Ordering::Acquire)
+        {
+            return;
+        }
+        shared.stamp_heartbeat();
+        if shared.inject_panic.swap(false, Ordering::AcqRel) {
+            panic!("injected batcher panic (chaos hook)");
+        }
+        // Drain exit: once draining, close the queue the moment it runs
+        // dry. `close_if_empty` holds the push lock, so a handler either
+        // enqueued before the close (we will serve it next loop) or sees
+        // `Closed` and answers 503 — no stranded jobs.
+        if shared.draining.load(Ordering::Acquire) && shared.queue.close_if_empty() {
+            return;
+        }
+        shared.wait_unpaused();
+        let first = match shared.queue.pop_timeout(Duration::from_millis(20)) {
+            Pop::Job(job) => *job,
+            Pop::Empty => {
+                // Idle tick: decay the backpressure signal so a drained
+                // server readmits traffic.
+                shared.decay_wait();
+                mcond_obs::gauge_set(
+                    "serve.http.queue_wait_ewma_us",
+                    shared.ewma_wait_us.load(Ordering::Relaxed) as f64,
+                );
+                continue;
+            }
+            Pop::Closed => return,
+        };
+        let mut jobs = vec![first];
+        let merge_until = Instant::now() + cfg.coalesce_window;
+        while jobs.len() < cfg.max_coalesce {
+            let now = Instant::now();
+            if now >= merge_until {
+                break;
+            }
+            match shared.queue.pop_timeout(merge_until - now) {
+                Pop::Job(job) => jobs.push(*job),
+                Pop::Empty | Pop::Closed => break,
+            }
+        }
+        for job in &jobs {
+            let wait_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            shared.record_wait(wait_us);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        mcond_obs::gauge_set("serve.http.queue_depth", shared.queue.len() as f64);
+
+        // The batch serves on ONE epoch, captured here: a reload that
+        // lands mid-fan-out affects the *next* batch, never this one.
+        let epoch = shared.slot.load();
+        let epoch_seq = epoch.seq();
+
+        // Deadline sweep: jobs whose budget expired while queued answer
+        // a typed 503 now instead of occupying a fan-out slot.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job.deadline {
+                Some(d) if now >= d => {
+                    mcond_obs::counter_add("serve.http.deadline_expired", 1);
+                    let waited_ms =
+                        u64::try_from(job.enqueued.elapsed().as_millis()).unwrap_or(u64::MAX);
+                    let budget_ms = u64::try_from(
+                        job.budget.unwrap_or_default().as_millis(),
+                    )
+                    .unwrap_or(u64::MAX);
+                    let _ = job.reply.try_send((
+                        Err(ServeError::DeadlineExceeded { waited_ms, budget_ms }),
+                        0,
+                        epoch_seq,
+                    ));
+                }
+                _ => live.push(job),
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        // Register the in-flight reply senders (tagged with our
+        // generation) *before* computing, so a watchdog that declares us
+        // dead mid-fan-out can answer these exact jobs.
+        {
+            let mut inflight = shared.lock_inflight();
+            *inflight = (gen, live.iter().map(|j| j.reply.clone()).collect());
+        }
+        // Chaos hook: wedge *with* jobs in flight — the worst case the
+        // watchdog exists for.
+        let stall_ms = shared.inject_stall_ms.swap(0, Ordering::AcqRel);
+        if stall_ms > 0 {
+            thread::sleep(Duration::from_millis(stall_ms));
+        }
+
+        let (batches, replies): (Vec<NodeBatch>, Vec<_>) =
+            live.into_iter().map(|j| (j.batch, j.reply)).unzip();
+        let results = match cfg.thread_limit {
+            Some(t) => mcond_par::with_thread_limit(t, || {
+                epoch.server().try_serve_many_traced(&batches)
+            }),
+            None => epoch.server().try_serve_many_traced(&batches),
+        };
+        mcond_obs::counter_add("serve.http.batches", 1);
+        mcond_obs::counter_add("serve.http.coalesced", batches.len() as u64);
+        {
+            // Deregister only our own registration — a successor batcher
+            // may already have its own batch in flight.
+            let mut inflight = shared.lock_inflight();
+            if inflight.0 == gen {
+                *inflight = (0, Vec::new());
+            }
+        }
+        for (reply, slot) in replies.into_iter().zip(results) {
+            // `try_send`, twice over: a handler that timed out dropped
+            // its receiver, and a watchdog that declared us dead already
+            // answered — the capacity-1 channel makes the duplicate send
+            // fail silently either way.
+            let (out, trace) = slot;
+            let _ = reply.try_send((out, trace, epoch_seq));
+        }
+    }
+}
+
+/// The supervisor: watches the batcher heartbeat and restarts on stall.
+pub(crate) fn watchdog_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
+    let period_ms = u64::try_from(cfg.watchdog_period.as_millis()).unwrap_or(u64::MAX).max(1);
+    let tick = Duration::from_millis((period_ms / 4).clamp(1, 50));
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        thread::sleep(tick);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        // A closed queue means the batcher exited *legitimately* (drain
+        // complete) — a stale heartbeat there is not a stall.
+        if shared.queue.is_closed() {
+            continue;
+        }
+        if shared.heartbeat_age_ms() <= period_ms {
+            continue;
+        }
+
+        // Stalled or dead. Restart sequence: flag (healthz → 503), dump
+        // the flight recorder post-mortem, retire the generation, answer
+        // the orphans, reap-or-abandon the corpse, spawn the replacement.
+        shared.restarting.store(true, Ordering::Release);
+        mcond_obs::counter_add("serve.watchdog.restarts", 1);
+        if mcond_obs::flight::active() {
+            let _ = mcond_obs::flight::dump("serve.watchdog.stall");
+        }
+        let next_gen = shared.batcher_gen.fetch_add(1, Ordering::AcqRel) + 1;
+        let epoch_seq = shared.slot.current_seq();
+        let orphans = {
+            let mut inflight = shared.lock_inflight();
+            std::mem::take(&mut inflight.1)
+        };
+        mcond_obs::counter_add("serve.watchdog.orphans", orphans.len() as u64);
+        for reply in orphans {
+            let _ = reply.try_send((
+                Err(ServeError::Aborted {
+                    reason: "batcher stalled; watchdog respawned it and abandoned this job",
+                }),
+                0,
+                epoch_seq,
+            ));
+        }
+        {
+            let mut slot = shared.batcher.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(handle) = slot.take() {
+                if handle.is_finished() {
+                    let _ = handle.join(); // panicked batcher: reap it
+                }
+                // else: wedged — abandoned; the generation check retires
+                // it whenever it wakes.
+            }
+            // Fresh grace window so the replacement is not instantly
+            // declared stalled before its first tick.
+            shared.stamp_heartbeat();
+            *slot = spawn_batcher(shared, cfg, next_gen);
+        }
+        shared.restarting.store(false, Ordering::Release);
+    }
+}
+
+/// Hard-fails `jobs` with a typed shutdown error — the path for queue
+/// leftovers when the drain grace expires.
+pub(crate) fn fail_jobs(jobs: Vec<Job>, epoch_seq: u64, reason: &'static str) {
+    for job in jobs {
+        let _ = job.reply.try_send((Err(ServeError::Aborted { reason }), 0, epoch_seq));
+    }
+}

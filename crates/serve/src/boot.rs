@@ -1,23 +1,25 @@
-//! Checkpoint boot: turn an on-disk [`Checkpoint`] bundle (written by
-//! `mcond-store`) into the `Arc<InductiveServer<'static>>` the front end
-//! needs — the deployment path where the serving process never sees the
-//! original graph, only the condensed artifact.
+//! Checkpoint boot: turn an on-disk [`Checkpoint`](mcond_core::Checkpoint)
+//! bundle (written by `mcond-store`) into the [`EpochSlot`] the front end
+//! serves from — the deployment path where the serving process never sees
+//! the original graph, only the condensed artifact. The slot *owns* its
+//! checkpoint: unlike the leaked-`'static` boot of earlier revisions,
+//! every reload frees the retired epoch once its last in-flight request
+//! completes.
 
-use mcond_core::{Checkpoint, InductiveServer};
+use mcond_core::{Checkpoint, EpochServer, EpochSlot};
 use mcond_store::StoreError;
 use std::path::Path;
 use std::sync::Arc;
 
-/// Loads the checkpoint at `path` and builds a `'static` server over it.
-///
-/// The checkpoint is intentionally leaked: a serving process keeps its
-/// model resident for its whole lifetime, and the `'static` borrow is
-/// what lets connection handler threads share the server without
-/// self-referential ownership tricks. Call once at process start.
+/// Loads and fully verifies the checkpoint at `path` (every section CRC,
+/// then the cross-section shape invariants) and installs it as epoch 1 of
+/// a fresh [`EpochSlot`]. Hand the slot to [`crate::spawn`]; swap new
+/// checkpoints in later with [`crate::ServeHandle::reload`] or
+/// `POST /v1/admin/reload`.
 ///
 /// # Errors
 /// Any [`StoreError`] from reading or validating the bundle.
-pub fn boot_checkpoint(path: impl AsRef<Path>) -> Result<Arc<InductiveServer<'static>>, StoreError> {
-    let ckpt: &'static Checkpoint = Box::leak(Box::new(Checkpoint::load(path)?));
-    Ok(Arc::new(InductiveServer::from_checkpoint(ckpt)))
+pub fn boot_slot(path: impl AsRef<Path>) -> Result<Arc<EpochSlot>, StoreError> {
+    let (ckpt, id) = Checkpoint::load_for_serving(path)?;
+    Ok(Arc::new(EpochSlot::new(EpochServer::from_checkpoint_arc(Arc::new(ckpt), id))))
 }

@@ -63,7 +63,25 @@ impl Client {
     /// Socket failures, or `InvalidData` when the response violates
     /// HTTP/1.1 framing.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.request_with(method, path, &[], body)
+    }
+
+    /// [`request`](Client::request) with extra request headers — how tests
+    /// attach `x-mcond-deadline-ms` budgets.
+    ///
+    /// # Errors
+    /// Same contract as [`request`](Client::request).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
         let mut head = format!("{method} {path} HTTP/1.1\r\nhost: mcond\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if !body.is_empty() || method == "POST" || method == "PUT" {
             head.push_str(&format!("content-length: {}\r\n", body.len()));
         }
@@ -81,14 +99,39 @@ impl Client {
     /// non-200 status (with the body text), [`PostError::Codec`] when a
     /// 200 body does not decode as logits.
     pub fn post_batch(&mut self, batch: &NodeBatch) -> Result<(u64, DMat), PostError> {
+        self.post_batch_tagged(batch).map(|r| (r.trace, r.logits))
+    }
+
+    /// [`post_batch`](Client::post_batch), additionally surfacing the
+    /// serving epoch from the `x-mcond-epoch` response header — what the
+    /// hot-swap chaos suite uses to verify each answer against the exact
+    /// checkpoint that produced it.
+    ///
+    /// # Errors
+    /// Same contract as [`post_batch`](Client::post_batch).
+    pub fn post_batch_tagged(&mut self, batch: &NodeBatch) -> Result<ServeReply, PostError> {
         let body = codec::encode_batch(batch);
         let resp = self.request("POST", "/v1/serve", body.as_bytes())?;
         if resp.status != 200 {
             return Err(PostError::Http { status: resp.status, body: resp.text() });
         }
+        let epoch = resp.header("x-mcond-epoch").and_then(|v| v.parse().ok());
         let (trace, logits) = codec::decode_logits(&resp.text())?;
-        Ok((trace, logits))
+        Ok(ServeReply { trace, epoch, logits })
     }
+}
+
+/// A successful `POST /v1/serve` round trip, with its trace id and the
+/// epoch that served it.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// The request's trace id (`x-mcond-trace`).
+    pub trace: u64,
+    /// The serving epoch (`x-mcond-epoch`); `None` only against servers
+    /// predating the epoch header.
+    pub epoch: Option<u64>,
+    /// The decoded logits.
+    pub logits: DMat,
 }
 
 /// What [`Client::post_batch`] can fail with.

@@ -1,5 +1,5 @@
-//! The HTTP front end: accept loop, connection handlers, and the adaptive
-//! micro-batching worker.
+//! The HTTP front end: accept loop, connection handlers, the adaptive
+//! micro-batching worker, and its supervisor.
 //!
 //! # Architecture
 //!
@@ -7,42 +7,57 @@
 //!  accept thread ──► conn handler threads (one per connection, bounded)
 //!                        │  parse HTTP ► decode batch ► admission control
 //!                        ▼
-//!                  bounded job queue (sync_channel, capacity = queue_capacity)
+//!                  bounded JobQueue (Mutex<VecDeque> + Condvar)
 //!                        │
 //!                  batcher thread: coalesce ≤ max_coalesce jobs within
-//!                  coalesce_window, then one `try_serve_many_traced`
-//!                  fan-out across the mcond-par pool
-//!                        │
-//!                  per-job reply channel ──► handler writes the response
+//!                  coalesce_window, expire overdue deadlines, then one
+//!                  `try_serve_many_traced` fan-out on the current epoch
+//!                        │                          ▲ heartbeat
+//!                  per-job reply channel      watchdog thread: respawns a
+//!                        │                    stalled batcher, answers its
+//!                        ▼                    orphans with typed errors
+//!                  handler writes the response (+ `x-mcond-epoch`)
 //! ```
+//!
+//! # Epochs (DESIGN.md §4k)
+//!
+//! The model lives in an [`EpochSlot`]: the batcher clones the current
+//! [`EpochServer`] `Arc` once per coalesced batch, so a concurrent
+//! [`ServeHandle::reload`] never disturbs an in-flight fan-out — it
+//! finishes on the epoch it started on, and the retired epoch frees when
+//! its last request completes. Every `/v1/serve` response carries the
+//! serving epoch in `x-mcond-epoch`.
 //!
 //! # Coalescing / shedding state machine (DESIGN.md §4j)
 //!
 //! A `POST /v1/serve` request is **admitted** when the queue has room and
 //! the smoothed queue-wait EWMA is under `shed_wait_us`; admitted jobs are
-//! enqueued and the handler blocks on the job's reply channel. The batcher
-//! takes the first queued job, then keeps draining the queue until either
-//! `coalesce_window` elapses or `max_coalesce` jobs are merged — the
-//! merged set is served as **one** [`try_serve_many`] fan-out, so
-//! concurrent wire requests get the same panic isolation and bitwise
-//! determinism as library callers. When the queue is full or the EWMA
-//! crosses the threshold the request is **shed** with `429` and a
-//! `Retry-After` header (counter `serve.http.shed`); the EWMA halves on
-//! every idle batcher tick, so a drained server automatically readmits.
+//! enqueued and the handler blocks on the job's reply channel. When the
+//! queue is full or the EWMA crosses the threshold the request is **shed**
+//! with `429` and a `Retry-After` derived from the EWMA (counter
+//! `serve.http.shed`); the EWMA halves on every idle batcher tick, so a
+//! drained server automatically readmits.
 //!
-//! [`try_serve_many`]: mcond_core::InductiveServer::try_serve_many
+//! # Shutdown
+//!
+//! [`ServeHandle::shutdown`] drains: stop accepting, let the batcher serve
+//! everything already queued, wait until every admitted response has been
+//! written, then stop the threads. Requests arriving mid-drain answer
+//! `503`; requests queued before the drain each get exactly one real
+//! response.
 
 use crate::codec::{self, CodecError};
 use crate::http::{write_response, HttpLimits, Request, RequestParser};
-use mcond_core::{InductiveServer, ServeError};
-use mcond_graph::NodeBatch;
-use mcond_linalg::DMat;
+use crate::queue::{Job, JobQueue, PushRejected, Reply};
+use crate::reload::{self, ReloadControl, ReloadError, ReloadOutcome};
+use mcond_core::{EpochSlot, ServeError};
 use mcond_obs::Json;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -76,8 +91,28 @@ pub struct ServeConfig {
     /// the queue has room — early backpressure when `serve.stage.*` work
     /// is the bottleneck rather than arrival bursts.
     pub shed_wait_us: u64,
-    /// `Retry-After` seconds advertised on `429` responses.
-    pub retry_after_secs: u32,
+    /// Upper bound (seconds) on the `Retry-After` advertised on `429`
+    /// responses; the value itself is derived from the queue-wait EWMA,
+    /// rounded up, never below 1.
+    pub retry_after_cap_secs: u32,
+    /// Deadline budget granted to requests that do not send an
+    /// `x-mcond-deadline-ms` header; `None` = no default deadline. An
+    /// expired job is answered `503` (`deadline_exceeded`) by the batcher
+    /// instead of occupying a fan-out slot.
+    pub default_deadline: Option<Duration>,
+    /// Batcher heartbeat staleness beyond which the watchdog declares the
+    /// batcher stalled, answers its in-flight orphans with typed errors,
+    /// and respawns it. Must comfortably exceed the worst-case single
+    /// fan-out, which does not beat the heart while computing.
+    pub watchdog_period: Duration,
+    /// Base backoff applied after a failed reload; doubles per consecutive
+    /// failure (capped by `reload_backoff_cap`) and resets on success.
+    pub reload_backoff: Duration,
+    /// Ceiling for the reload backoff.
+    pub reload_backoff_cap: Duration,
+    /// Longest [`ServeHandle::shutdown`] waits for queued jobs to drain
+    /// and their responses to be written before hard-failing leftovers.
+    pub drain_grace: Duration,
     /// HTTP framing limits (header/body byte caps).
     pub limits: HttpLimits,
     /// When set, the batcher pins its fan-outs to this thread count via
@@ -98,69 +133,117 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             reply_timeout: Duration::from_secs(30),
             shed_wait_us: 500_000,
-            retry_after_secs: 1,
+            retry_after_cap_secs: 30,
+            default_deadline: None,
+            watchdog_period: Duration::from_secs(2),
+            reload_backoff: Duration::from_millis(250),
+            reload_backoff_cap: Duration::from_secs(30),
+            drain_grace: Duration::from_secs(5),
             limits: HttpLimits::default(),
             thread_limit: None,
         }
     }
 }
 
-/// One admitted request travelling to the batcher.
-struct Job {
-    batch: NodeBatch,
-    enqueued: Instant,
-    reply: SyncSender<(Result<DMat, ServeError>, u64)>,
-}
-
-/// State shared between the accept loop, handlers, and the batcher.
-struct Shared {
-    stop: AtomicBool,
-    /// Jobs admitted but not yet dequeued by the batcher.
-    depth: AtomicUsize,
+/// State shared between the accept loop, handlers, the batcher, and the
+/// watchdog.
+pub(crate) struct Shared {
+    pub(crate) stop: AtomicBool,
+    /// Drain mode: stop admitting, finish what's queued.
+    pub(crate) draining: AtomicBool,
+    /// The watchdog is mid-restart of the batcher (healthz answers 503).
+    pub(crate) restarting: AtomicBool,
     /// Smoothed queue wait in µs (α = 1/8), halved on idle ticks.
-    ewma_wait_us: AtomicU64,
-    live_conns: AtomicUsize,
+    pub(crate) ewma_wait_us: AtomicU64,
+    pub(crate) live_conns: AtomicUsize,
+    /// Admitted jobs whose HTTP response has not been written yet — the
+    /// graceful drain waits for this to reach zero.
+    pub(crate) open_replies: AtomicUsize,
     /// Chaos/testing gate: while `true` the batcher stops dequeuing, so
     /// the queue fills deterministically (the load-shed suite drives it).
-    paused: Mutex<bool>,
-    unpause: Condvar,
+    pub(crate) paused: Mutex<bool>,
+    pub(crate) unpause: Condvar,
+    pub(crate) queue: JobQueue,
+    pub(crate) slot: Arc<EpochSlot>,
+    pub(crate) reload: ReloadControl,
+    /// Time origin for the heartbeat clock.
+    pub(crate) t0: Instant,
+    /// Batcher liveness stamp, ms since `t0`; refreshed every loop tick
+    /// and while waiting out a pause.
+    pub(crate) heartbeat_ms: AtomicU64,
+    /// Batcher generation: bumped by the watchdog on respawn; a stalled
+    /// predecessor that wakes up self-retires when its generation is
+    /// stale, so at most one batcher ever consumes the queue.
+    pub(crate) batcher_gen: AtomicU64,
+    pub(crate) batcher: Mutex<Option<JoinHandle<()>>>,
+    /// Reply senders of the batch currently inside a fan-out, tagged with
+    /// the generation that registered them — what the watchdog answers
+    /// with typed errors when that generation is declared dead.
+    pub(crate) inflight: Mutex<(u64, Vec<mpsc::SyncSender<Reply>>)>,
+    /// Chaos hooks (see [`ServeHandle::inject_batcher_panic`]).
+    pub(crate) inject_panic: AtomicBool,
+    pub(crate) inject_stall_ms: AtomicU64,
 }
 
 impl Shared {
-    fn overloaded(&self, cfg: &ServeConfig) -> bool {
-        self.depth.load(Ordering::Acquire) >= cfg.queue_capacity
+    pub(crate) fn overloaded(&self, cfg: &ServeConfig) -> bool {
+        self.queue.len() >= cfg.queue_capacity
             || self.ewma_wait_us.load(Ordering::Relaxed) > cfg.shed_wait_us
     }
 
-    fn record_wait(&self, wait_us: u64) {
+    pub(crate) fn record_wait(&self, wait_us: u64) {
         let old = self.ewma_wait_us.load(Ordering::Relaxed);
         self.ewma_wait_us.store(old - old / 8 + wait_us / 8, Ordering::Relaxed);
     }
 
-    fn decay_wait(&self) {
+    pub(crate) fn decay_wait(&self) {
         let old = self.ewma_wait_us.load(Ordering::Relaxed);
         if old > 0 {
             self.ewma_wait_us.store(old / 2, Ordering::Relaxed);
         }
     }
 
+    /// Milliseconds since the front end started — the heartbeat clock.
+    pub(crate) fn now_ms(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn stamp_heartbeat(&self) {
+        self.heartbeat_ms.store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn heartbeat_age_ms(&self) -> u64 {
+        self.now_ms().saturating_sub(self.heartbeat_ms.load(Ordering::Relaxed))
+    }
+
     /// Blocks while the pause gate is closed (and the server is running).
-    fn wait_unpaused(&self) {
-        let mut paused = self.paused.lock().unwrap();
+    /// Stamps the heartbeat each wait tick: a paused batcher is idle by
+    /// request, not stalled, and must not trip the watchdog.
+    pub(crate) fn wait_unpaused(&self) {
+        let mut paused = self.paused.lock().unwrap_or_else(PoisonError::into_inner);
         while *paused && !self.stop.load(Ordering::Acquire) {
-            let (guard, _) =
-                self.unpause.wait_timeout(paused, Duration::from_millis(20)).unwrap();
+            self.stamp_heartbeat();
+            let (guard, _) = self
+                .unpause
+                .wait_timeout(paused, Duration::from_millis(20))
+                .unwrap_or_else(PoisonError::into_inner);
             paused = guard;
         }
     }
+
+    pub(crate) fn lock_inflight(&self) -> MutexGuard<'_, (u64, Vec<mpsc::SyncSender<Reply>>)> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
-/// A running front end. Dropping the handle shuts the server down.
+/// A running front end. Dropping the handle shuts the server down
+/// (gracefully — see [`ServeHandle::shutdown`]).
 pub struct ServeHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    cfg: ServeConfig,
     accept: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -170,37 +253,112 @@ impl ServeHandle {
         self.addr
     }
 
+    /// The current epoch sequence number — the value stamped on responses
+    /// as `x-mcond-epoch`.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared.slot.current_seq()
+    }
+
+    /// Loads, validates, canaries, and — only if all of that passes —
+    /// swaps in the checkpoint at `path` as the new serving epoch. The
+    /// same code path `POST /v1/admin/reload` runs; see [`reload`] for
+    /// the failure taxonomy and backoff behaviour. In-flight requests are
+    /// never disturbed: they finish on the epoch they started on.
+    ///
+    /// # Errors
+    /// [`ReloadError`] — the old epoch keeps serving untouched on every
+    /// error path.
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<ReloadOutcome, ReloadError> {
+        reload::attempt(&self.shared.slot, &self.shared.reload, &self.cfg, path.as_ref())
+    }
+
     /// Closes the batcher's dequeue gate: admitted jobs stay queued (so
     /// the bounded queue fills and sheds deterministically) until
     /// [`resume`](ServeHandle::resume). A chaos/testing facility, in the
     /// spirit of `mcond_core::chaos` — metrics and health endpoints keep
-    /// answering while paused.
+    /// answering while paused, and the pause does not trip the watchdog.
     pub fn pause(&self) {
-        *self.shared.paused.lock().unwrap() = true;
+        *self.shared.paused.lock().unwrap_or_else(PoisonError::into_inner) = true;
     }
 
     /// Reopens the dequeue gate; queued jobs drain in arrival order.
     pub fn resume(&self) {
-        *self.shared.paused.lock().unwrap() = false;
+        *self.shared.paused.lock().unwrap_or_else(PoisonError::into_inner) = false;
         self.shared.unpause.notify_all();
     }
 
-    /// Stops accepting, drains the worker, and joins the service threads.
-    /// Connection handler threads exit on their next read timeout.
+    /// Chaos hook: the batcher panics at its next loop tick. The watchdog
+    /// must detect the dead heartbeat and respawn it; queued jobs survive
+    /// (the queue outlives the worker) and are served by the replacement.
+    pub fn inject_batcher_panic(&self) {
+        self.shared.inject_panic.store(true, Ordering::Release);
+    }
+
+    /// Chaos hook: the batcher wedges for `stall` *after* taking its next
+    /// batch in flight — the worst case, jobs dequeued but unanswered.
+    /// The watchdog answers those orphans with typed `503`s and respawns;
+    /// the stalled thread self-retires when it wakes.
+    pub fn inject_batcher_stall(&self, stall: Duration) {
+        let ms = u64::try_from(stall.as_millis()).unwrap_or(u64::MAX);
+        self.shared.inject_stall_ms.store(ms.max(1), Ordering::Release);
+    }
+
+    /// Graceful drain: stop accepting, let the batcher answer everything
+    /// already queued, wait (bounded by `drain_grace`) until every
+    /// admitted response has been written, then stop the service threads.
+    /// Requests that arrive mid-drain answer `503`; requests queued
+    /// before the drain each receive exactly one real response, never a
+    /// mid-reply reset.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
+        if self.shared.stop.load(Ordering::Acquire) {
+            return; // explicit shutdown already ran; Drop is a no-op
+        }
+        self.shared.draining.store(true, Ordering::Release);
         self.resume();
-        // Unblock the accept loop with one throwaway connection.
+        // Unblock the accept loop with one throwaway connection; it sees
+        // `draining` and retires, so no new connections join the drain.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.batcher.take() {
+        // The batcher closes the queue once it runs dry; every admitted
+        // job decrements `open_replies` when its response hits the wire.
+        let deadline = Instant::now() + self.cfg.drain_grace;
+        while Instant::now() < deadline
+            && !(self.shared.queue.is_closed()
+                && self.shared.open_replies.load(Ordering::Acquire) == 0)
+        {
+            thread::sleep(Duration::from_millis(2));
+        }
+        self.shared.stop.store(true, Ordering::Release);
+        self.resume();
+        // Past the grace window: hard-close and answer leftovers typed
+        // instead of letting their handlers wait out `reply_timeout`.
+        crate::batcher::fail_jobs(
+            self.shared.queue.close(),
+            self.shared.slot.current_seq(),
+            "server shut down before the request was served",
+        );
+        if let Some(h) = self.watchdog.take() {
             let _ = h.join();
+        }
+        let batcher = self.shared.batcher.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(h) = batcher {
+            // A healthy batcher exits within one poll tick of the closed
+            // queue; a wedged one (stall injection) is abandoned — its
+            // generation check retires it when it wakes.
+            let waited = Instant::now();
+            while !h.is_finished() && waited.elapsed() < Duration::from_millis(500) {
+                thread::sleep(Duration::from_millis(2));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -211,60 +369,67 @@ impl Drop for ServeHandle {
     }
 }
 
-/// Binds the listener and spawns the accept loop and the batching worker.
-/// Also turns on metric aggregation ([`mcond_obs::enable_metrics`]) so
-/// `GET /metrics` always has counters to report.
+/// Binds the listener and spawns the accept loop, the batching worker,
+/// and its watchdog. Also turns on metric aggregation
+/// ([`mcond_obs::enable_metrics`]) so `GET /metrics` always has counters
+/// to report.
 ///
-/// The server is shared behind an `Arc` — the same instance library
-/// callers use ([`InductiveServer`] is `Sync`), so wire responses are
-/// produced by exactly the code path the test suite verifies bitwise.
+/// The model arrives as an [`EpochSlot`] — the owning, swappable form
+/// [`crate::boot_slot`] builds from a checkpoint file — so the same slot
+/// can be reloaded under traffic via [`ServeHandle::reload`] or
+/// `POST /v1/admin/reload`.
 ///
 /// # Errors
 /// Any socket-level `io::Error` from binding the address.
-pub fn spawn(
-    server: Arc<InductiveServer<'static>>,
-    config: ServeConfig,
-) -> std::io::Result<ServeHandle> {
+pub fn spawn(slot: Arc<EpochSlot>, config: ServeConfig) -> std::io::Result<ServeHandle> {
     mcond_obs::enable_metrics();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
-        depth: AtomicUsize::new(0),
+        draining: AtomicBool::new(false),
+        restarting: AtomicBool::new(false),
         ewma_wait_us: AtomicU64::new(0),
         live_conns: AtomicUsize::new(0),
+        open_replies: AtomicUsize::new(0),
         paused: Mutex::new(false),
         unpause: Condvar::new(),
+        queue: JobQueue::new(config.queue_capacity),
+        slot,
+        reload: ReloadControl::new(),
+        t0: Instant::now(),
+        heartbeat_ms: AtomicU64::new(0),
+        batcher_gen: AtomicU64::new(1),
+        batcher: Mutex::new(None),
+        inflight: Mutex::new((0, Vec::new())),
+        inject_panic: AtomicBool::new(false),
+        inject_stall_ms: AtomicU64::new(0),
     });
-    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+    shared.stamp_heartbeat();
 
-    let batcher = {
-        let server = Arc::clone(&server);
+    let first = crate::batcher::spawn_batcher(&shared, &config, 1)
+        .ok_or_else(|| std::io::Error::other("cannot spawn batcher thread"))?;
+    *shared.batcher.lock().unwrap_or_else(PoisonError::into_inner) = Some(first);
+    let watchdog = {
         let shared = Arc::clone(&shared);
         let cfg = config.clone();
         thread::Builder::new()
-            .name("mcond-serve-batcher".to_owned())
-            .spawn(move || batcher_loop(&server, &rx, &shared, &cfg))?
+            .name("mcond-serve-watchdog".to_owned())
+            .spawn(move || crate::batcher::watchdog_loop(&shared, &cfg))?
     };
     let accept = {
         let shared = Arc::clone(&shared);
         let cfg = config.clone();
         thread::Builder::new().name("mcond-serve-accept".to_owned()).spawn(move || {
-            accept_loop(&listener, &server, &tx, &shared, &cfg);
+            accept_loop(&listener, &shared, &cfg);
         })?
     };
-    Ok(ServeHandle { addr, shared, accept: Some(accept), batcher: Some(batcher) })
+    Ok(ServeHandle { addr, shared, cfg: config, accept: Some(accept), watchdog: Some(watchdog) })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    server: &Arc<InductiveServer<'static>>,
-    tx: &SyncSender<Job>,
-    shared: &Arc<Shared>,
-    cfg: &ServeConfig,
-) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, cfg: &ServeConfig) {
     for stream in listener.incoming() {
-        if shared.stop.load(Ordering::Acquire) {
+        if shared.stop.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { continue };
@@ -276,13 +441,11 @@ fn accept_loop(
         }
         shared.live_conns.fetch_add(1, Ordering::AcqRel);
         mcond_obs::counter_add("serve.http.conns", 1);
-        let server = Arc::clone(server);
-        let tx = tx.clone();
         let conn_shared = Arc::clone(shared);
         let cfg = cfg.clone();
         let spawned = thread::Builder::new().name("mcond-serve-conn".to_owned()).spawn(
             move || {
-                handle_conn(stream, &server, &tx, &conn_shared, &cfg);
+                handle_conn(stream, &conn_shared, &cfg);
                 conn_shared.live_conns.fetch_sub(1, Ordering::AcqRel);
             },
         );
@@ -292,16 +455,24 @@ fn accept_loop(
     }
 }
 
+/// One framed response plus whether it answers an *admitted* job — the
+/// graceful drain counts admitted responses onto the wire.
+struct Routed {
+    bytes: Vec<u8>,
+    admitted: bool,
+}
+
+impl Routed {
+    fn plain(bytes: Vec<u8>) -> Self {
+        Self { bytes, admitted: false }
+    }
+}
+
 /// The per-connection loop: parse requests (pipelining-aware), route
 /// them, write responses. Returns when the peer closes, framing breaks,
-/// a read times out, or the server stops.
-fn handle_conn(
-    mut stream: TcpStream,
-    server: &Arc<InductiveServer<'static>>,
-    tx: &SyncSender<Job>,
-    shared: &Arc<Shared>,
-    cfg: &ServeConfig,
-) {
+/// a read times out, the server stops, or a drain begins (responses
+/// written mid-drain carry `Connection: close`).
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>, cfg: &ServeConfig) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut parser = RequestParser::new(cfg.limits);
@@ -317,11 +488,15 @@ fn handle_conn(
                 Ok(Some(req)) => {
                     mcond_obs::counter_add("serve.http.requests", 1);
                     let keep = req.keep_alive();
-                    let response = route(&req, server, tx, shared, cfg, keep);
-                    if stream.write_all(&response).is_err() {
-                        return;
+                    let routed = route(&req, shared, cfg, keep);
+                    let wrote = stream.write_all(&routed.bytes).is_ok();
+                    if routed.admitted {
+                        // Decrement only after the bytes hit the socket:
+                        // this is what lets the drain guarantee "no
+                        // connection reset mid-reply".
+                        shared.open_replies.fetch_sub(1, Ordering::AcqRel);
                     }
-                    if !keep {
+                    if !wrote || !keep || shared.draining.load(Ordering::Acquire) {
                         return;
                     }
                 }
@@ -356,30 +531,21 @@ fn handle_conn(
 }
 
 /// Routes one parsed request to its endpoint and frames the response.
-fn route(
-    req: &Request,
-    server: &Arc<InductiveServer<'static>>,
-    tx: &SyncSender<Job>,
-    shared: &Arc<Shared>,
-    cfg: &ServeConfig,
-    keep_alive: bool,
-) -> Vec<u8> {
-    let close = !keep_alive;
+fn route(req: &Request, shared: &Arc<Shared>, cfg: &ServeConfig, keep_alive: bool) -> Routed {
+    // Mid-drain responses close the connection so keep-alive clients
+    // re-resolve to a healthy server instead of queueing on a dying one.
+    let close = !keep_alive || shared.draining.load(Ordering::Acquire);
     match (req.method.as_str(), req.target.as_str()) {
-        ("POST", "/v1/serve") => serve_endpoint(req, tx, shared, cfg, close),
-        ("GET", "/healthz") => {
-            let body = Json::obj()
-                .with("status", "ok")
-                .with("base_nodes", server.base_nodes())
-                .dump();
-            write_response(200, &[], body.as_bytes(), close)
-        }
+        ("POST", "/v1/serve") => serve_endpoint(req, shared, cfg, close),
+        ("POST", "/v1/admin/reload") => Routed::plain(reload_endpoint(req, shared, cfg, close)),
+        ("GET", "/healthz") => Routed::plain(healthz_endpoint(shared, close)),
         ("GET", "/metrics") => {
             // JSONL: one line for this server's request statistics, one
             // for the process-wide registry (http counters live there).
+            let epoch = shared.slot.load();
             let mut body = Json::obj()
                 .with("scope", "server")
-                .with("metrics", server.metrics_snapshot().to_json())
+                .with("metrics", epoch.server().metrics_snapshot().to_json())
                 .dump();
             body.push('\n');
             body.push_str(
@@ -389,76 +555,182 @@ fn route(
                     .dump(),
             );
             body.push('\n');
-            write_response(200, &[], body.as_bytes(), close)
+            Routed::plain(write_response(200, &[], body.as_bytes(), close))
         }
-        (_, "/v1/serve") => method_not_allowed("POST", close),
-        (_, "/healthz" | "/metrics") => method_not_allowed("GET", close),
+        (_, "/v1/serve" | "/v1/admin/reload") => Routed::plain(method_not_allowed("POST", close)),
+        (_, "/healthz" | "/metrics") => Routed::plain(method_not_allowed("GET", close)),
         _ => {
             let body = error_body("not_found", "unknown path");
-            write_response(404, &[], body.as_bytes(), close)
+            Routed::plain(write_response(404, &[], body.as_bytes(), close))
         }
     }
 }
 
+/// `GET /healthz`: liveness plus the supervision vitals — the current
+/// epoch and checkpoint id, queue depth, and batcher heartbeat age.
+/// Answers `503` while the watchdog is mid-restart or the server is
+/// draining, so load balancers rotate traffic away.
+fn healthz_endpoint(shared: &Arc<Shared>, close: bool) -> Vec<u8> {
+    let epoch = shared.slot.load();
+    let restarting = shared.restarting.load(Ordering::Acquire);
+    let draining = shared.draining.load(Ordering::Acquire);
+    let status = if restarting {
+        "restarting"
+    } else if draining {
+        "draining"
+    } else {
+        "ok"
+    };
+    let body = Json::obj()
+        .with("status", status)
+        .with("epoch", epoch.seq())
+        .with("checkpoint", epoch.checkpoint_id())
+        .with("base_nodes", epoch.server().base_nodes())
+        .with("queue_depth", shared.queue.len())
+        .with("heartbeat_age_ms", shared.heartbeat_age_ms())
+        .dump();
+    let code = if restarting || draining { 503 } else { 200 };
+    write_response(code, &[], body.as_bytes(), close)
+}
+
+/// `POST /v1/admin/reload`: body `{"path": "..."}`. Runs the full
+/// validated-load + canary + swap pipeline **on this handler thread** —
+/// never on the batcher — and maps the typed outcome onto HTTP.
+fn reload_endpoint(req: &Request, shared: &Arc<Shared>, cfg: &ServeConfig, close: bool) -> Vec<u8> {
+    let path = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|j| j.get("path").and_then(Json::as_str).map(str::to_owned));
+    let Some(path) = path else {
+        let body = error_body("bad_reload_request", "body must be {\"path\": \"...\"}");
+        return write_response(400, &[], body.as_bytes(), close);
+    };
+    match reload::attempt(&shared.slot, &shared.reload, cfg, Path::new(&path)) {
+        Ok(outcome) => {
+            let body = Json::obj()
+                .with("epoch", outcome.epoch)
+                .with("checkpoint", outcome.checkpoint_id)
+                .dump();
+            write_response(200, &[], body.as_bytes(), close)
+        }
+        Err(ReloadError::InProgress) => {
+            let body = error_body("reload_in_progress", "another reload is running");
+            write_response(409, &[], body.as_bytes(), close)
+        }
+        Err(ReloadError::Backoff { retry_after }) => {
+            let secs = retry_after.as_secs().max(1);
+            let body = error_body(
+                "reload_backoff",
+                "recent reloads failed; wait out the advertised backoff",
+            );
+            write_response(429, &[("retry-after", secs.to_string())], body.as_bytes(), close)
+        }
+        Err(ReloadError::Store(e)) => {
+            let body = error_body("bad_checkpoint", &e.to_string());
+            write_response(422, &[], body.as_bytes(), close)
+        }
+        Err(ReloadError::Canary(e)) => {
+            let body = error_body("canary_failed", &e.to_string());
+            write_response(422, &[], body.as_bytes(), close)
+        }
+    }
+}
+
+/// Parses the request's deadline budget: the `x-mcond-deadline-ms` header
+/// when present (must be a positive integer), else the configured
+/// default. `Err` means the header was malformed.
+fn request_budget(req: &Request, cfg: &ServeConfig) -> Result<Option<Duration>, ()> {
+    match req.header("x-mcond-deadline-ms") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            _ => Err(()),
+        },
+        None => Ok(cfg.default_deadline),
+    }
+}
+
 /// `POST /v1/serve`: decode, admit (or shed), enqueue, await the fan-out
-/// result, map it to a status.
-fn serve_endpoint(
-    req: &Request,
-    tx: &SyncSender<Job>,
-    shared: &Arc<Shared>,
-    cfg: &ServeConfig,
-    close: bool,
-) -> Vec<u8> {
+/// result, map it to a status. Every response — success or failure —
+/// carries `x-mcond-epoch`.
+fn serve_endpoint(req: &Request, shared: &Arc<Shared>, cfg: &ServeConfig, close: bool) -> Routed {
+    let epoch_hdr = |seq: u64| ("x-mcond-epoch", seq.to_string());
+    let current = shared.slot.current_seq();
     let Ok(text) = std::str::from_utf8(&req.body) else {
         mcond_obs::counter_add("serve.http.bad_requests", 1);
         let body = error_body("codec", &CodecError::Utf8.to_string());
-        return write_response(400, &[], body.as_bytes(), close);
+        return Routed::plain(write_response(400, &[epoch_hdr(current)], body.as_bytes(), close));
     };
     let batch = match codec::decode_batch(text) {
         Ok(b) => b,
         Err(e) => {
             mcond_obs::counter_add("serve.http.bad_requests", 1);
             let body = error_body("codec", &e.to_string());
-            return write_response(400, &[], body.as_bytes(), close);
+            return Routed::plain(write_response(
+                400,
+                &[epoch_hdr(current)],
+                body.as_bytes(),
+                close,
+            ));
         }
     };
+    let Ok(budget) = request_budget(req, cfg) else {
+        mcond_obs::counter_add("serve.http.bad_requests", 1);
+        let body = error_body("bad_deadline", "x-mcond-deadline-ms must be a positive integer");
+        return Routed::plain(write_response(400, &[epoch_hdr(current)], body.as_bytes(), close));
+    };
 
+    if shared.draining.load(Ordering::Acquire) {
+        let body = error_body("shutting_down", "server is draining");
+        return Routed::plain(write_response(503, &[epoch_hdr(current)], body.as_bytes(), close));
+    }
     // Admission control: shed *before* touching the queue when the server
     // is already over its bounds.
     if shared.overloaded(cfg) {
-        return shed_response(cfg, close);
+        return Routed::plain(shed_response(shared, cfg, close));
     }
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-    shared.depth.fetch_add(1, Ordering::AcqRel);
-    let job = Job { batch, enqueued: Instant::now(), reply: reply_tx };
-    match tx.try_send(job) {
-        Ok(()) => mcond_obs::counter_add("serve.http.admitted", 1),
-        Err(TrySendError::Full(_)) => {
-            shared.depth.fetch_sub(1, Ordering::AcqRel);
-            return shed_response(cfg, close);
+    let enqueued = Instant::now();
+    let job = Job {
+        batch,
+        enqueued,
+        deadline: budget.map(|b| enqueued + b),
+        budget,
+        reply: reply_tx,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {
+            mcond_obs::counter_add("serve.http.admitted", 1);
+            shared.open_replies.fetch_add(1, Ordering::AcqRel);
         }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.depth.fetch_sub(1, Ordering::AcqRel);
+        Err(PushRejected::Full) => {
+            return Routed::plain(shed_response(shared, cfg, close));
+        }
+        Err(PushRejected::Closed) => {
             let body = error_body("shutting_down", "serving worker is gone");
-            return write_response(503, &[], body.as_bytes(), close);
+            return Routed::plain(write_response(
+                503,
+                &[epoch_hdr(current)],
+                body.as_bytes(),
+                close,
+            ));
         }
     }
-    match reply_rx.recv_timeout(cfg.reply_timeout) {
-        Ok((Ok(logits), trace)) => {
+    let bytes = match reply_rx.recv_timeout(cfg.reply_timeout) {
+        Ok((Ok(logits), trace, epoch)) => {
             let body = codec::encode_logits(trace, &logits);
             write_response(
                 200,
-                &[("x-mcond-trace", trace.to_string())],
+                &[("x-mcond-trace", trace.to_string()), epoch_hdr(epoch)],
                 body.as_bytes(),
                 close,
             )
         }
-        Ok((Err(e), trace)) => {
+        Ok((Err(e), trace, epoch)) => {
             let (status, kind) = serve_error_status(&e);
             let body = error_body(kind, &e.to_string());
             write_response(
                 status,
-                &[("x-mcond-trace", trace.to_string())],
+                &[("x-mcond-trace", trace.to_string()), epoch_hdr(epoch)],
                 body.as_bytes(),
                 close,
             )
@@ -466,21 +738,39 @@ fn serve_endpoint(
         Err(RecvTimeoutError::Timeout) => {
             mcond_obs::counter_add("serve.http.timeouts", 1);
             let body = error_body("reply_timeout", "request timed out in the serving queue");
-            write_response(504, &[], body.as_bytes(), close)
+            write_response(504, &[epoch_hdr(current)], body.as_bytes(), close)
         }
         Err(RecvTimeoutError::Disconnected) => {
             let body = error_body("shutting_down", "serving worker dropped the request");
-            write_response(503, &[], body.as_bytes(), close)
+            write_response(503, &[epoch_hdr(current)], body.as_bytes(), close)
         }
-    }
+    };
+    Routed { bytes, admitted: true }
 }
 
-fn shed_response(cfg: &ServeConfig, close: bool) -> Vec<u8> {
+/// The `Retry-After` seconds a shed response advertises: the queue-wait
+/// EWMA rounded **up** to whole seconds — an honest "how long until the
+/// backlog you would join clears" — floored at 1 and capped by
+/// configuration so a pathological EWMA cannot park clients forever.
+pub(crate) fn derived_retry_after_secs(ewma_wait_us: u64, cap_secs: u32) -> u32 {
+    let secs = ewma_wait_us.div_ceil(1_000_000).max(1);
+    let cap = cap_secs.max(1);
+    u32::try_from(secs).map_or(cap, |s| s.min(cap))
+}
+
+fn shed_response(shared: &Shared, cfg: &ServeConfig, close: bool) -> Vec<u8> {
     mcond_obs::counter_add("serve.http.shed", 1);
+    let retry = derived_retry_after_secs(
+        shared.ewma_wait_us.load(Ordering::Relaxed),
+        cfg.retry_after_cap_secs,
+    );
     let body = error_body("shed", "server is over capacity; retry after the advertised delay");
     write_response(
         429,
-        &[("retry-after", cfg.retry_after_secs.to_string())],
+        &[
+            ("retry-after", retry.to_string()),
+            ("x-mcond-epoch", shared.slot.current_seq().to_string()),
+        ],
         body.as_bytes(),
         close,
     )
@@ -489,76 +779,6 @@ fn shed_response(cfg: &ServeConfig, close: bool) -> Vec<u8> {
 fn method_not_allowed(allow: &str, close: bool) -> Vec<u8> {
     let body = error_body("method_not_allowed", &format!("use {allow}"));
     write_response(405, &[("allow", allow.to_owned())], body.as_bytes(), close)
-}
-
-/// The micro-batching worker: coalesce queued jobs, run one fan-out,
-/// deliver per-job replies.
-fn batcher_loop(
-    server: &Arc<InductiveServer<'static>>,
-    rx: &mpsc::Receiver<Job>,
-    shared: &Arc<Shared>,
-    cfg: &ServeConfig,
-) {
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            // Dropping `rx` disconnects every waiting handler, which
-            // answers 503 — no request is left hanging.
-            return;
-        }
-        shared.wait_unpaused();
-        let first = match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => {
-                // Idle tick: decay the backpressure signal so a drained
-                // server readmits traffic.
-                shared.decay_wait();
-                mcond_obs::gauge_set(
-                    "serve.http.queue_wait_ewma_us",
-                    shared.ewma_wait_us.load(Ordering::Relaxed) as f64,
-                );
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        let mut jobs = vec![first];
-        let deadline = Instant::now() + cfg.coalesce_window;
-        while jobs.len() < cfg.max_coalesce {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(job) => jobs.push(job),
-                Err(_) => break,
-            }
-        }
-        shared.depth.fetch_sub(jobs.len(), Ordering::AcqRel);
-        for job in &jobs {
-            let wait_us = job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            shared.record_wait(wait_us);
-        }
-        #[allow(clippy::cast_precision_loss)]
-        mcond_obs::gauge_set(
-            "serve.http.queue_depth",
-            shared.depth.load(Ordering::Acquire) as f64,
-        );
-
-        let (batches, replies): (Vec<NodeBatch>, Vec<_>) =
-            jobs.into_iter().map(|j| (j.batch, j.reply)).unzip();
-        let results = match cfg.thread_limit {
-            Some(t) => {
-                mcond_par::with_thread_limit(t, || server.try_serve_many_traced(&batches))
-            }
-            None => server.try_serve_many_traced(&batches),
-        };
-        mcond_obs::counter_add("serve.http.batches", 1);
-        mcond_obs::counter_add("serve.http.coalesced", batches.len() as u64);
-        for (reply, slot) in replies.into_iter().zip(results) {
-            // A handler that already timed out dropped its receiver —
-            // nothing to do, the result is discarded.
-            let _ = reply.send(slot);
-        }
-    }
 }
 
 /// Maps a [`ServeError`] to its HTTP status and stable error kind.
@@ -571,6 +791,8 @@ fn batcher_loop(
 /// | `FallbackUnavailable` | 503 |
 /// | `NonFiniteLogits` | 500 |
 /// | `Panicked` | 500 |
+/// | `DeadlineExceeded` | 503 |
+/// | `Aborted` | 503 |
 #[must_use]
 pub fn serve_error_status(e: &ServeError) -> (u16, &'static str) {
     match e {
@@ -580,11 +802,13 @@ pub fn serve_error_status(e: &ServeError) -> (u16, &'static str) {
         ServeError::FallbackUnavailable { .. } => (503, "fallback_unavailable"),
         ServeError::NonFiniteLogits => (500, "non_finite_logits"),
         ServeError::Panicked { .. } => (500, "panicked"),
+        ServeError::DeadlineExceeded { .. } => (503, "deadline_exceeded"),
+        ServeError::Aborted { .. } => (503, "aborted"),
     }
 }
 
 /// The JSON error envelope every non-200 response carries.
-fn error_body(kind: &str, message: &str) -> String {
+pub(crate) fn error_body(kind: &str, message: &str) -> String {
     Json::obj()
         .with("error", Json::obj().with("kind", kind).with("message", message))
         .dump()
@@ -608,6 +832,12 @@ mod tests {
             (ServeError::FallbackUnavailable { node: 0 }, 503, "fallback_unavailable"),
             (ServeError::NonFiniteLogits, 500, "non_finite_logits"),
             (ServeError::Panicked { context: "boom".into() }, 500, "panicked"),
+            (
+                ServeError::DeadlineExceeded { waited_ms: 7, budget_ms: 5 },
+                503,
+                "deadline_exceeded",
+            ),
+            (ServeError::Aborted { reason: "watchdog" }, 503, "aborted"),
         ];
         for (e, status, kind) in cases {
             assert_eq!(serve_error_status(&e), (status, kind), "{e}");
@@ -616,20 +846,118 @@ mod tests {
     }
 
     #[test]
-    fn ewma_decays_to_readmission() {
-        let shared = Shared {
-            stop: AtomicBool::new(false),
-            depth: AtomicUsize::new(0),
-            ewma_wait_us: AtomicU64::new(1_000_000),
-            live_conns: AtomicUsize::new(0),
-            paused: Mutex::new(false),
-            unpause: Condvar::new(),
-        };
+    fn retry_after_derives_from_the_ewma_rounded_up_and_capped() {
+        // Idle queue: floor of 1 second, never 0.
+        assert_eq!(derived_retry_after_secs(0, 30), 1);
+        // Sub-second waits still round up to the floor.
+        assert_eq!(derived_retry_after_secs(250_000, 30), 1);
+        // Just over a second rounds *up*, not down.
+        assert_eq!(derived_retry_after_secs(1_000_001, 30), 2);
+        assert_eq!(derived_retry_after_secs(4_500_000, 30), 5);
+        // A pathological EWMA is capped.
+        assert_eq!(derived_retry_after_secs(90_000_000, 30), 30);
+        assert_eq!(derived_retry_after_secs(u64::MAX, 30), 30);
+        // A zero cap never advertises zero.
+        assert_eq!(derived_retry_after_secs(0, 0), 1);
+    }
+
+    #[test]
+    fn ewma_decay_lowers_the_advertised_retry_after() {
+        let shared = test_shared();
+        shared.ewma_wait_us.store(3_000_000, Ordering::Relaxed);
         let cfg = ServeConfig { shed_wait_us: 1_000, ..ServeConfig::default() };
         assert!(shared.overloaded(&cfg), "hot EWMA sheds");
+        assert_eq!(
+            derived_retry_after_secs(shared.ewma_wait_us.load(Ordering::Relaxed), 30),
+            3
+        );
         for _ in 0..20 {
             shared.decay_wait();
         }
         assert!(!shared.overloaded(&cfg), "idle decay readmits");
+        assert_eq!(
+            derived_retry_after_secs(shared.ewma_wait_us.load(Ordering::Relaxed), 30),
+            1,
+            "drained queue advertises the 1-second floor"
+        );
+    }
+
+    #[test]
+    fn healthz_answers_503_while_draining_or_restarting() {
+        let shared = Arc::new(test_shared());
+        let status_of = |bytes: Vec<u8>| -> (u16, String) {
+            let text = String::from_utf8(bytes).expect("ASCII response");
+            let status = text
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .expect("status code");
+            (status, text)
+        };
+
+        let (status, text) = status_of(healthz_endpoint(&shared, false));
+        assert_eq!(status, 200);
+        assert!(text.contains("\"ok\""), "healthy body names its status: {text}");
+        assert!(text.contains("\"epoch\""), "healthz carries the epoch: {text}");
+        assert!(text.contains("\"checkpoint\""), "healthz carries the checkpoint id: {text}");
+        assert!(text.contains("\"queue_depth\""), "healthz carries queue depth: {text}");
+        assert!(text.contains("\"heartbeat_age_ms\""), "healthz carries heartbeat age: {text}");
+
+        shared.draining.store(true, Ordering::Release);
+        let (status, text) = status_of(healthz_endpoint(&shared, false));
+        assert_eq!(status, 503, "draining answers 503 so balancers rotate away");
+        assert!(text.contains("\"draining\""), "{text}");
+        shared.draining.store(false, Ordering::Release);
+
+        shared.restarting.store(true, Ordering::Release);
+        let (status, text) = status_of(healthz_endpoint(&shared, false));
+        assert_eq!(status, 503, "mid-restart answers 503");
+        assert!(text.contains("\"restarting\""), "{text}");
+    }
+
+    fn test_shared() -> Shared {
+        Shared {
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            restarting: AtomicBool::new(false),
+            ewma_wait_us: AtomicU64::new(0),
+            live_conns: AtomicUsize::new(0),
+            open_replies: AtomicUsize::new(0),
+            paused: Mutex::new(false),
+            unpause: Condvar::new(),
+            queue: JobQueue::new(4),
+            slot: Arc::new(EpochSlot::new(test_epoch())),
+            reload: ReloadControl::new(),
+            t0: Instant::now(),
+            heartbeat_ms: AtomicU64::new(0),
+            batcher_gen: AtomicU64::new(1),
+            batcher: Mutex::new(None),
+            inflight: Mutex::new((0, Vec::new())),
+            inject_panic: AtomicBool::new(false),
+            inject_stall_ms: AtomicU64::new(0),
+        }
+    }
+
+    fn test_epoch() -> mcond_core::EpochServer {
+        use mcond_core::{Checkpoint, EpochServer};
+        use mcond_gnn::{GnnKind, GnnModel};
+        use mcond_graph::Graph;
+        use mcond_linalg::DMat;
+        use mcond_sparse::Coo;
+        let mut coo = Coo::new(2, 2);
+        coo.push_sym(0, 1, 1.0);
+        let graph = Graph::new(
+            coo.to_csr(),
+            DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            vec![0, 1],
+            2,
+        );
+        let mut map = Coo::new(3, 2);
+        map.push(0, 0, 1.0);
+        map.push(1, 1, 1.0);
+        map.push(2, 1, 1.0);
+        let model = GnnModel::new(GnnKind::Gcn, 2, 4, 2, 1);
+        let ckpt = Checkpoint::new(graph, map.to_csr(), model).unwrap();
+        EpochServer::from_checkpoint_arc(Arc::new(ckpt), "test")
     }
 }

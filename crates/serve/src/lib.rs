@@ -11,9 +11,10 @@
 //!
 //! | route | body | reply |
 //! |---|---|---|
-//! | `POST /v1/serve` | JSON [`NodeBatch`](mcond_graph::NodeBatch) (see [`codec`]) | `{"trace", "rows", "cols", "logits"}` + `x-mcond-trace` header |
+//! | `POST /v1/serve` | JSON [`NodeBatch`](mcond_graph::NodeBatch) (see [`codec`]) | `{"trace", "rows", "cols", "logits"}` + `x-mcond-trace` / `x-mcond-epoch` headers |
+//! | `POST /v1/admin/reload` | `{"path": "model.mckpt"}` | `{"epoch", "checkpoint"}` after validated-load + canary + swap |
 //! | `GET /metrics` | — | JSONL: per-server `metrics_snapshot()` line + process-wide registry line |
-//! | `GET /healthz` | — | `{"status": "ok", ...}` |
+//! | `GET /healthz` | — | `{"status", "epoch", "checkpoint", "queue_depth", "heartbeat_age_ms", ...}`; `503` mid-restart or draining |
 //!
 //! ## Behaviour under load
 //!
@@ -27,30 +28,47 @@
 //! HTTP status ([`serve_error_status`]).
 //!
 //! ```no_run
-//! use mcond_serve::{boot_checkpoint, spawn, Client, ServeConfig};
+//! use mcond_serve::{boot_slot, spawn, Client, ServeConfig};
 //! use std::time::Duration;
 //!
-//! let server = boot_checkpoint("model.mckpt")?;
-//! let handle = spawn(server, ServeConfig::default())?;
-//! println!("serving on {}", handle.addr());
+//! let slot = boot_slot("model.mckpt")?;
+//! let handle = spawn(slot, ServeConfig::default())?;
+//! println!("serving epoch {} on {}", handle.epoch(), handle.addr());
+//! // Later, under traffic — validated load + canary + atomic swap:
+//! // handle.reload("model-v2.mckpt")?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Supervision
+//!
+//! The batcher runs under a watchdog: a stalled or panicked worker is
+//! detected within [`ServeConfig::watchdog_period`], its orphaned jobs
+//! answer typed `503`s, and a replacement takes over the (intact) queue.
+//! Per-request deadline budgets (`x-mcond-deadline-ms` header or
+//! [`ServeConfig::default_deadline`]) expire queued work with `503`
+//! instead of serving answers nobody is waiting for, and
+//! [`ServeHandle::shutdown`] drains gracefully — every admitted request
+//! gets exactly one response before the process exits.
 //!
 //! The [`chaos`] module exports the malformed-HTTP corpus the protocol
 //! test suite drives, in the same catalogue style as
 //! [`mcond_core::chaos`].
 
+mod batcher;
 pub mod boot;
 pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod front;
 pub mod http;
+mod queue;
+pub mod reload;
 
-pub use boot::boot_checkpoint;
-pub use client::{Client, PostError, Response};
+pub use boot::boot_slot;
+pub use client::{Client, PostError, Response, ServeReply};
 pub use codec::{
     decode_batch, decode_logits, encode_batch, encode_logits, CodecError, MAX_WIRE_COLS,
 };
 pub use front::{serve_error_status, spawn, ServeConfig, ServeHandle};
 pub use http::{HttpError, HttpLimits};
+pub use reload::{ReloadError, ReloadOutcome};

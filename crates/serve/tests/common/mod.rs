@@ -1,15 +1,17 @@
 //! Shared fixture for the serve integration suites: the same 6-node toy
-//! split as `mcond-core`'s chaos sweep, leaked into `'static` servers the
-//! front end's connection threads can share.
+//! split as `mcond-core`'s chaos sweep, leaked into `'static` servers and
+//! wrapped in epoch slots the front end's hot-swap machinery expects.
 
 // Each test binary includes this module but uses a different subset.
 #![allow(dead_code)]
 
-use mcond_core::InductiveServer;
+use mcond_core::{Checkpoint, EpochServer, EpochSlot, InductiveServer};
+use mcond_serve::Client;
 use mcond_gnn::{GnnKind, GnnModel};
 use mcond_graph::{Graph, InductiveDataset};
 use mcond_linalg::{DMat, MatRng};
 use mcond_sparse::{Coo, Csr};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Incremental width every request against the toy server must have
@@ -29,11 +31,13 @@ pub fn dataset() -> InductiveDataset {
     InductiveDataset::new(g, vec![0, 1, 2], vec![3], vec![4, 5])
 }
 
-/// Synthetic-mode server over a leaked 2-node synthetic graph and 3x2
-/// mapping. `model_in_dim = FEATURE_DIM` gives a healthy server;
+/// Boot epoch slot over a leaked 2-node synthetic graph and 3x2 mapping.
+/// `model_in_dim = FEATURE_DIM` gives a healthy server;
 /// `model_in_dim = 5` passes validation but panics inside the forward
-/// pass (the chaos-sweep misconfiguration), for exercising 500s.
-pub fn leaked_server(model_in_dim: usize) -> Arc<InductiveServer<'static>> {
+/// pass (the chaos-sweep misconfiguration), for exercising 500s — the
+/// `from_static` escape hatch exists exactly because `Checkpoint::new`
+/// would reject that fixture.
+pub fn leaked_slot(model_in_dim: usize) -> Arc<EpochSlot> {
     let syn: &'static Graph = Box::leak(Box::new(Graph::new(
         Csr::eye(2),
         DMat::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]),
@@ -47,5 +51,61 @@ pub fn leaked_server(model_in_dim: usize) -> Arc<InductiveServer<'static>> {
     let mapping: &'static Csr = Box::leak(Box::new(map.to_csr()));
     let model: &'static GnnModel =
         Box::leak(Box::new(GnnModel::new(GnnKind::Gcn, model_in_dim, 4, 2, 1)));
-    Arc::new(InductiveServer::on_synthetic(syn, mapping, model))
+    let server = InductiveServer::on_synthetic(syn, mapping, model);
+    Arc::new(EpochSlot::new(EpochServer::from_static(server, "toy-fixture")))
+}
+
+/// A valid, saveable checkpoint over the same toy shapes as
+/// [`leaked_slot`] — 2 synthetic nodes, 3-dim features, 3x2 mapping.
+/// Different `seed`s produce bitwise-distinct model weights, which is
+/// what the reload chaos suite alternates between to prove each answer
+/// came from the epoch its header claims.
+pub fn toy_checkpoint(seed: u64) -> Checkpoint {
+    let mut coo = Coo::new(2, 2);
+    coo.push_sym(0, 1, 1.0);
+    let graph = Graph::new(
+        coo.to_csr(),
+        DMat::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]),
+        vec![0, 1],
+        2,
+    );
+    let mut map = Coo::new(INC_COLS, 2);
+    map.push(0, 0, 0.5);
+    map.push(1, 0, 0.5);
+    map.push(2, 1, 1.0);
+    let model = GnnModel::new(GnnKind::Gcn, FEATURE_DIM, 4, 2, seed);
+    Checkpoint::new(graph, map.to_csr(), model).expect("toy checkpoint is valid")
+}
+
+/// Reads the process-scope value of a counter from `GET /metrics`.
+pub fn counter(client: &mut Client, name: &str) -> u64 {
+    let resp = client.request("GET", "/metrics", b"").expect("metrics");
+    assert_eq!(resp.status, 200);
+    for line in resp.text().lines().filter(|l| !l.is_empty()) {
+        let j = mcond_obs::Json::parse(line).expect("metrics line parses");
+        if j.get("scope").and_then(mcond_obs::Json::as_str) == Some("process") {
+            let metrics = j.get("metrics").expect("metrics object");
+            if let Some(v) = metrics
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(mcond_obs::Json::as_f64)
+            {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                return v as u64;
+            }
+            return 0;
+        }
+    }
+    panic!("no process-scope metrics line");
+}
+
+/// Saves [`toy_checkpoint`]`(seed)` under a unique temp path (per process
+/// and tag, so parallel test binaries never collide) and returns it.
+pub fn checkpoint_file(tag: &str, seed: u64) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "mcond_serve_{tag}_{}_{seed}.mcst",
+        std::process::id()
+    ));
+    toy_checkpoint(seed).save(&path).expect("save toy checkpoint");
+    path
 }

@@ -30,10 +30,11 @@ fn batch_mix() -> Vec<NodeBatch> {
 fn responses_are_bitwise_identical_to_direct_calls_across_thread_counts() {
     let batches = batch_mix();
     for worker_threads in [1usize, 4] {
-        let server = common::leaked_server(common::FEATURE_DIM);
+        let slot = common::leaked_slot(common::FEATURE_DIM);
+        let epoch = slot.load();
         let expected: Vec<_> = batches
             .iter()
-            .map(|b| server.try_serve(b).expect("fixture batch is valid"))
+            .map(|b| epoch.server().try_serve(b).expect("fixture batch is valid"))
             .collect();
         let cfg = ServeConfig {
             thread_limit: Some(worker_threads),
@@ -41,7 +42,7 @@ fn responses_are_bitwise_identical_to_direct_calls_across_thread_counts() {
             coalesce_window: Duration::from_millis(5),
             ..ServeConfig::default()
         };
-        let handle = spawn(server, cfg).expect("spawn front end");
+        let handle = spawn(slot, cfg).expect("spawn front end");
         let addr = handle.addr();
 
         let workers: Vec<_> = (0..8)
@@ -81,7 +82,7 @@ fn responses_are_bitwise_identical_to_direct_calls_across_thread_counts() {
 fn panicking_request_returns_500_while_siblings_succeed() {
     let data = common::dataset();
     let handle = spawn(
-        common::leaked_server(5),
+        common::leaked_slot(5),
         ServeConfig { coalesce_window: Duration::from_millis(20), ..ServeConfig::default() },
     )
     .expect("spawn front end");
@@ -121,11 +122,11 @@ fn panicking_request_returns_500_while_siblings_succeed() {
 #[test]
 fn corrupted_batches_map_to_client_errors_over_http() {
     let data = common::dataset();
-    let server = common::leaked_server(common::FEATURE_DIM);
+    let slot = common::leaked_slot(common::FEATURE_DIM);
     let donor = data.batch(&[4, 5], true);
-    let reference = server.try_serve(&donor).expect("donor valid");
+    let reference = slot.load().server().try_serve(&donor).expect("donor valid");
 
-    let handle = spawn(server, ServeConfig::default()).expect("spawn front end");
+    let handle = spawn(slot, ServeConfig::default()).expect("spawn front end");
     let mut client = Client::connect(handle.addr(), Duration::from_secs(10)).unwrap();
     for case in corrupted_batches(&donor) {
         match client.post_batch(&case.batch) {

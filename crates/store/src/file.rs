@@ -306,6 +306,40 @@ impl CheckpointReader {
         }
         Ok(payload)
     }
+
+    /// CRC-verifies **every** section payload up front, not just the ones a
+    /// decoder happens to touch — the validated-load path a hot-swap server
+    /// runs before staging a checkpoint, so a bundle with a corrupt
+    /// trailing section is rejected before any swap is attempted.
+    ///
+    /// # Errors
+    /// [`StoreError::ChecksumMismatch`] naming the first damaged section.
+    pub fn verify_sections(&self) -> Result<(), StoreError> {
+        for entry in &self.sections {
+            if crc32(&self.data[entry.range.clone()]) != entry.crc {
+                return Err(StoreError::ChecksumMismatch { section: entry.name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// A short, stable fingerprint of the image content, derived from the
+    /// section names and their payload CRCs. Two bundles with identical
+    /// payloads share an id regardless of when or where they were written;
+    /// serving layers stamp it on responses (`x-mcond-epoch` metadata) so
+    /// operators can tell *which* checkpoint answered. Collision-resistant
+    /// enough for fleet bookkeeping, not cryptographic.
+    #[must_use]
+    pub fn content_id(&self) -> String {
+        let mut acc = Vec::new();
+        for entry in &self.sections {
+            acc.extend_from_slice(entry.name.as_bytes());
+            acc.push(0);
+            acc.extend_from_slice(&entry.crc.to_le_bytes());
+            acc.extend_from_slice(&(entry.range.len() as u64).to_le_bytes());
+        }
+        format!("{:08x}", crc32(&acc))
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +399,37 @@ mod tests {
         }
         // Degraded, not dead: the undamaged sections still load.
         assert_eq!(r.section("gamma").unwrap(), &[0xFF; 64]);
+    }
+
+    #[test]
+    fn verify_sections_catches_damage_the_decoder_would_skip() {
+        let r = CheckpointReader::from_bytes(sample().to_bytes()).unwrap();
+        r.verify_sections().unwrap();
+        // Corrupt the *last* section — a decoder that only reads "alpha"
+        // would never notice, but a validated load must.
+        let mut image = sample().to_bytes();
+        let ranges = CheckpointReader::from_bytes(image.clone()).unwrap().payload_ranges();
+        let (_, gamma) = ranges.iter().find(|(n, _)| n == "gamma").unwrap().clone();
+        image[gamma.start] ^= 0x80;
+        let r = CheckpointReader::from_bytes(image).unwrap();
+        match r.verify_sections() {
+            Err(StoreError::ChecksumMismatch { section }) => assert_eq!(section, "gamma"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn content_id_is_stable_for_identical_payloads_and_shifts_on_change() {
+        let a = CheckpointReader::from_bytes(sample().to_bytes()).unwrap().content_id();
+        let b = CheckpointReader::from_bytes(sample().to_bytes()).unwrap().content_id();
+        assert_eq!(a, b, "same payloads, same id");
+        assert_eq!(a.len(), 8, "compact hex id");
+        let mut other = CheckpointWriter::new();
+        other.add_section("alpha", vec![1, 2, 3, 4, 6]);
+        other.add_section("beta", Vec::new());
+        other.add_section("gamma", vec![0xFF; 64]);
+        let c = CheckpointReader::from_bytes(other.to_bytes()).unwrap().content_id();
+        assert_ne!(a, c, "one changed byte moves the id");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use mcond::core::{load_condensed, save_condensed, Checkpoint, InductiveServer};
 use mcond::prelude::*;
-use mcond::serve::{boot_checkpoint, encode_batch, spawn, Client};
+use mcond::serve::{boot_slot, encode_batch, spawn, Client};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -101,19 +101,23 @@ fn main() {
     // boot an HTTP front end from the file alone, and verify a wire
     // round trip is bitwise identical to the library call.
     let ckpt_path = std::env::temp_dir().join("mcond_serving_demo.mckpt");
-    let bytes = Checkpoint::new(artifact.synthetic.clone(), artifact.mapping.clone(), model)
-        .expect("artifact sections agree")
-        .save(&ckpt_path)
-        .expect("write checkpoint");
+    let bytes =
+        Checkpoint::new(artifact.synthetic.clone(), artifact.mapping.clone(), model.clone())
+            .expect("artifact sections agree")
+            .save(&ckpt_path)
+            .expect("write checkpoint");
     println!("\ncheckpoint: {} ({bytes} bytes)", ckpt_path.display());
 
-    let booted = boot_checkpoint(&ckpt_path).expect("boot from checkpoint");
-    std::fs::remove_file(&ckpt_path).ok();
-    let handle = spawn(booted.clone(), ServeConfig::default()).expect("bind localhost");
-    println!("HTTP front end listening on http://{}", handle.addr());
+    let slot = boot_slot(&ckpt_path).expect("boot from checkpoint");
+    let handle = spawn(slot.clone(), ServeConfig::default()).expect("bind localhost");
+    println!(
+        "HTTP front end listening on http://{} (epoch {})",
+        handle.addr(),
+        handle.epoch()
+    );
 
     let demo = &batches[0];
-    let direct = booted.try_serve(demo).expect("library serve");
+    let direct = slot.load().server().try_serve(demo).expect("library serve");
     let mut client = Client::connect(handle.addr(), Duration::from_secs(10)).expect("connect");
     let (trace, wire) = client.post_batch(demo).expect("HTTP serve");
     assert!(
@@ -128,15 +132,52 @@ fn main() {
     let health = client.request("GET", "/healthz", b"").expect("healthz");
     println!("GET /healthz: {} {}", health.status, health.text());
 
+    // ── Zero-downtime hot reload ───────────────────────────────────────
+    // Train a v2 of the model, save it as a second checkpoint, and swap
+    // it in under the live server: validated load + canary + one pointer
+    // exchange. In-flight requests finish on their epoch; every response
+    // names its epoch in `x-mcond-epoch`.
+    let mut model_v2 = model;
+    train(
+        &mut model_v2,
+        &ops,
+        &artifact.synthetic.features,
+        &artifact.synthetic.labels,
+        &TrainConfig { epochs: 50, lr: 0.03, ..TrainConfig::default() },
+        None,
+    );
+    let v2_path = std::env::temp_dir().join("mcond_serving_demo_v2.mckpt");
+    Checkpoint::new(artifact.synthetic.clone(), artifact.mapping.clone(), model_v2)
+        .expect("v2 sections agree")
+        .save(&v2_path)
+        .expect("write v2 checkpoint");
+    let before = handle.epoch();
+    let outcome = handle.reload(&v2_path).expect("hot reload");
+    println!(
+        "hot reload: epoch {before} -> {} (checkpoint {}), zero requests dropped",
+        outcome.epoch, outcome.checkpoint_id
+    );
+    let reply = client.post_batch_tagged(demo).expect("serve on the new epoch");
+    assert_eq!(
+        reply.epoch,
+        Some(outcome.epoch),
+        "responses after the swap must carry the new epoch"
+    );
+    println!(
+        "POST /v1/serve after the swap: x-mcond-epoch {} on the same keep-alive connection",
+        outcome.epoch
+    );
+
     // A request body for manual exploration.
     let body_path = std::env::temp_dir().join("mcond_serving_demo_batch.json");
     std::fs::write(&body_path, encode_batch(demo)).expect("write demo batch");
     println!(
-        "\ntry it yourself:\n  curl -s -X POST http://{}/v1/serve --data-binary @{}\n  \
-         curl -s http://{}/metrics",
-        handle.addr(),
-        body_path.display(),
-        handle.addr()
+        "\ntry it yourself:\n  curl -s -X POST http://{addr}/v1/serve --data-binary @{body}\n  \
+         curl -s http://{addr}/metrics\n  curl -s http://{addr}/healthz\n  \
+         curl -s -X POST http://{addr}/v1/admin/reload -d '{{\"path\": \"{v2}\"}}'",
+        addr = handle.addr(),
+        body = body_path.display(),
+        v2 = v2_path.display()
     );
     if let Ok(hold) = std::env::var("MCOND_SERVE_HOLD_SECS") {
         let secs: u64 = hold.parse().unwrap_or(30);
@@ -144,4 +185,6 @@ fn main() {
         std::thread::sleep(Duration::from_secs(secs));
     }
     handle.shutdown();
+    std::fs::remove_file(&ckpt_path).ok();
+    std::fs::remove_file(&v2_path).ok();
 }
