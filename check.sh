@@ -15,6 +15,8 @@ for cmd in \
     "cargo run --release --example inference_acceleration" \
     "cargo run --release --example serving" \
     "cargo test --release -p mcond-serve --test reload_chaos --test drain_deadline" \
+    "cargo test --release -p mcond-core --test delta_equivalence" \
+    "cargo bench -p mcond-bench --bench delta_drift" \
     "cargo bench -p mcond-bench --bench serve_fastpath" \
     "cargo bench -p mcond-bench --bench serving_qps" \
     "cargo bench -p mcond-bench --bench reload_swap" \
@@ -73,6 +75,15 @@ MCOND_BENCH_SAMPLES=2 MCOND_BENCH_SAMPLE_MS=1 cargo bench -p mcond-bench --bench
 # watchdog recovery of panicked/stalled batchers; plus graceful-drain and
 # deadline-budget contracts.
 cargo test --release -p mcond-serve --test reload_chaos --test drain_deadline
+# Live-graph equivalence: N incremental promotions must be bitwise
+# identical to a from-scratch rebuild (adjacency, mapping, degrees, and
+# both Exact and patched-FrozenBase serving) at 1 and 4 threads, and a
+# refresh replay must reproduce the live state exactly.
+cargo test --release -p mcond-core --test delta_equivalence
+# Drift-experiment smoke (tiny waves): regenerates
+# results/BENCH_delta_drift.json and re-checks the refresh-replay bitwise
+# guard over the probe set.
+MCOND_DRIFT_WAVES=2 MCOND_DRIFT_WAVE=4 MCOND_DRIFT_EPOCHS=5 MCOND_DRIFT_PROBES=50 cargo bench -p mcond-bench --bench delta_drift
 # Closed-loop HTTP load-generator smoke (short levels): regenerates
 # results/BENCH_serving_qps.json after verifying wire responses bitwise
 # and asserting RSS stays flat across 50 hot reloads.

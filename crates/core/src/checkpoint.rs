@@ -10,6 +10,7 @@
 //! booted from it never touches the original graph.
 
 use crate::condense::Condensed;
+use crate::delta::DeltaLineage;
 use crate::server::InductiveServer;
 use mcond_gnn::GnnModel;
 use mcond_graph::Graph;
@@ -23,6 +24,11 @@ use std::time::Instant;
 const SEC_SYNTHETIC: &str = "synthetic";
 const SEC_MAPPING: &str = "mapping";
 const SEC_MODEL: &str = "model";
+/// Optional section: delta lineage of a live (promoted) base. Absent on
+/// checkpoints from a plain condensation run; readers treat absence as
+/// "no lineage", so old files stay loadable and old readers skip the
+/// section they do not know.
+const SEC_DELTA: &str = "delta";
 
 /// A complete, serve-ready condensed artifact.
 #[derive(Clone)]
@@ -33,6 +39,10 @@ pub struct Checkpoint {
     pub mapping: Csr,
     /// Trained GNN weights.
     pub model: GnnModel,
+    /// Provenance of a live (promoted) base — `None` for a checkpoint
+    /// straight out of condensation. Persisted as the optional `"delta"`
+    /// section.
+    pub lineage: Option<DeltaLineage>,
 }
 
 impl Checkpoint {
@@ -71,7 +81,15 @@ impl Checkpoint {
                 ),
             });
         }
-        Ok(Self { synthetic, mapping, model })
+        Ok(Self { synthetic, mapping, model, lineage: None })
+    }
+
+    /// Stamps the bundle with a live base's [`DeltaLineage`] (see
+    /// `LiveBase::checkpoint`).
+    #[must_use]
+    pub fn with_lineage(mut self, lineage: DeltaLineage) -> Self {
+        self.lineage = Some(lineage);
+        self
     }
 
     /// Serialises the bundle into an `MCST` image.
@@ -87,6 +105,15 @@ impl Checkpoint {
         w.add_section(SEC_SYNTHETIC, graph_w.into_bytes());
         w.add_section(SEC_MAPPING, map_w.into_bytes());
         w.add_section(SEC_MODEL, model_w.into_bytes());
+        if let Some(l) = &self.lineage {
+            let mut lw = ByteWriter::new();
+            lw.put_u64(l.version);
+            lw.put_u64(l.promotions);
+            lw.put_u64(l.promoted_nodes);
+            lw.put_u64(l.base_nodes);
+            lw.put_u64(l.mapping_rows);
+            w.add_section(SEC_DELTA, lw.into_bytes());
+        }
         w
     }
 
@@ -155,7 +182,27 @@ impl Checkpoint {
         let mut r = ByteReader::new(reader.section(SEC_MODEL)?, SEC_MODEL);
         let model = codec::decode_model(&mut r)?;
         r.finish()?;
-        Self::new(synthetic, mapping, model)
+        let lineage = match reader.section(SEC_DELTA) {
+            Ok(bytes) => {
+                let mut r = ByteReader::new(bytes, SEC_DELTA);
+                let lineage = DeltaLineage {
+                    version: r.get_u64()?,
+                    promotions: r.get_u64()?,
+                    promoted_nodes: r.get_u64()?,
+                    base_nodes: r.get_u64()?,
+                    mapping_rows: r.get_u64()?,
+                };
+                r.finish()?;
+                Some(lineage)
+            }
+            Err(StoreError::MissingSection { .. }) => None,
+            Err(e) => return Err(e),
+        };
+        let ckpt = Self::new(synthetic, mapping, model)?;
+        Ok(match lineage {
+            Some(l) => ckpt.with_lineage(l),
+            None => ckpt,
+        })
     }
 }
 
@@ -177,9 +224,16 @@ impl Condensed {
 impl<'a> InductiveServer<'a> {
     /// Boots a serving endpoint from a restored checkpoint — the synthetic
     /// graph, mapping and weights only; the original graph is never needed.
+    /// A lineage-stamped checkpoint (one emitted by a live, promoted base)
+    /// also stamps the server's base version, so a frozen cache built
+    /// afterwards is in sync.
     #[must_use]
     pub fn from_checkpoint(ckpt: &'a Checkpoint) -> Self {
-        Self::on_synthetic(&ckpt.synthetic, &ckpt.mapping, &ckpt.model)
+        let server = Self::on_synthetic(&ckpt.synthetic, &ckpt.mapping, &ckpt.model);
+        match &ckpt.lineage {
+            Some(l) => server.with_base_version(l.version),
+            None => server,
+        }
     }
 }
 
@@ -220,6 +274,27 @@ mod tests {
         for (a, b) in restored.model.params().iter().zip(ckpt.model.params()) {
             assert!(a.bit_eq(b));
         }
+    }
+
+    #[test]
+    fn lineage_section_round_trips_and_is_optional() {
+        let ckpt = tiny_bundle();
+        // No lineage: the section is absent and restores as None.
+        let restored = Checkpoint::from_bytes(ckpt.to_writer().to_bytes()).unwrap();
+        assert_eq!(restored.lineage, None);
+
+        let lineage = DeltaLineage {
+            version: 4,
+            promotions: 4,
+            promoted_nodes: 9,
+            base_nodes: 12,
+            mapping_rows: 14,
+        };
+        let stamped = tiny_bundle().with_lineage(lineage);
+        let restored = Checkpoint::from_bytes(stamped.to_writer().to_bytes()).unwrap();
+        assert_eq!(restored.lineage, Some(lineage));
+        // The restored server inherits the lineage's base version.
+        assert_eq!(InductiveServer::from_checkpoint(&restored).base_version(), 4);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod chaos;
 mod checkpoint;
 mod condense;
 mod coreset;
+mod delta;
 mod epoch;
 mod inference;
 mod mapping;
@@ -49,6 +50,7 @@ pub use artifact::{load_condensed, save_condensed, Artifact};
 pub use checkpoint::Checkpoint;
 pub use condense::{condense, CondenseHistory, Condensed, GradDistance, McondConfig};
 pub use coreset::{coreset, CoresetMethod, ReducedGraph};
+pub use delta::{CacheOutcome, DeltaError, DeltaLineage, GraphDelta, LiveBase, PromotionReport};
 pub use epoch::{EpochServer, EpochSlot};
 pub use inference::{attach_to_original, attach_to_synthetic, infer_inductive, InferenceTarget};
 pub use mapping::{class_correlation_of, Mapping};

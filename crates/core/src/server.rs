@@ -193,6 +193,10 @@ pub struct InductiveServer<'a> {
     coverage_threshold: f32,
     max_batch: usize,
     original: Option<OriginalBase<'a>>,
+    /// Version of the base graph this server was built against (0 for a
+    /// static base). A frozen-base cache whose stamp trails this refuses
+    /// to serve ([`ServeError::StaleCache`]).
+    base_version: u64,
     stats: Mutex<ServeStats>,
 }
 
@@ -212,6 +216,7 @@ impl<'a> InductiveServer<'a> {
             coverage_threshold: 0.0,
             max_batch: DEFAULT_MAX_BATCH,
             original: None,
+            base_version: 0,
             stats: Mutex::new(ServeStats::default()),
         }
     }
@@ -240,6 +245,7 @@ impl<'a> InductiveServer<'a> {
             coverage_threshold: 0.0,
             max_batch: DEFAULT_MAX_BATCH,
             original: None,
+            base_version: 0,
             stats: Mutex::new(ServeStats::default()),
         }
     }
@@ -261,12 +267,60 @@ impl<'a> InductiveServer<'a> {
     pub fn with_serve_mode(mut self, mode: ServeMode) -> Self {
         self.serve_mode = mode;
         self.frozen = (mode == ServeMode::FrozenBase).then(|| {
-            let frozen = FrozenBase::new(self.model, &self.base_adj, self.base_features);
+            // Stamped with the *current* base version: call
+            // `with_base_version` first when booting a live (promoted)
+            // base so the fresh cache is in sync.
+            let frozen = FrozenBase::new(self.model, &self.base_adj, self.base_features)
+                .with_version(self.base_version);
             mcond_obs::counter_add("serve.cache.builds", 1);
             #[allow(clippy::cast_precision_loss)]
             mcond_obs::gauge_set("serve.cache.bytes", frozen.bytes() as f64);
             frozen
         });
+        self
+    }
+
+    /// Stamps the server with the live base's version (see
+    /// `core::delta::LiveBase`). Requests answered from a frozen-base
+    /// cache are checked against this stamp: a cache built (or last
+    /// patched) at an older version is refused with
+    /// [`ServeError::StaleCache`] instead of serving silently wrong
+    /// logits. Defaults to `0` — matching what
+    /// [`with_serve_mode`](InductiveServer::with_serve_mode) and
+    /// [`mcond_gnn::FrozenBase::new`] stamp, so static bases never trip
+    /// the check.
+    #[must_use]
+    pub fn with_base_version(mut self, version: u64) -> Self {
+        self.base_version = version;
+        self
+    }
+
+    /// The base version this server serves (see
+    /// [`with_base_version`](InductiveServer::with_base_version)).
+    #[must_use]
+    pub fn base_version(&self) -> u64 {
+        self.base_version
+    }
+
+    /// Installs an externally built (or incrementally patched) frozen-base
+    /// cache and switches to [`ServeMode::FrozenBase`]. Unlike
+    /// [`with_serve_mode`](InductiveServer::with_serve_mode) this does not
+    /// recompute the base forward pass — a live base that just patched its
+    /// cache hands it over as-is, version stamp included.
+    ///
+    /// # Panics
+    /// Panics when the cache does not cover this server's base node count.
+    #[must_use]
+    pub fn with_frozen_cache(mut self, frozen: FrozenBase) -> Self {
+        assert_eq!(
+            frozen.n_base(),
+            self.base_adj.rows(),
+            "with_frozen_cache: cache covers a different base node count"
+        );
+        #[allow(clippy::cast_precision_loss)]
+        mcond_obs::gauge_set("serve.cache.bytes", frozen.bytes() as f64);
+        self.serve_mode = ServeMode::FrozenBase;
+        self.frozen = Some(frozen);
         self
     }
 
@@ -385,7 +439,11 @@ impl<'a> InductiveServer<'a> {
         let start = Instant::now();
         {
             let _stage = mcond_obs::span_timed("validate", "serve.stage.validate");
-            batch.validate_against(self.expected_inc_cols(), self.base_features.cols())?;
+            // Prefix-tolerant width check: a batch assembled against an
+            // older, narrower base (before a delta promotion grew the
+            // index space) stays valid — appended ids never change the
+            // meaning of existing ones.
+            batch.validate_against_prefix(self.expected_inc_cols(), self.base_features.cols())?;
             if batch.len() > self.max_batch {
                 return Err(ServeError::BatchTooLarge { len: batch.len(), max: self.max_batch });
             }
@@ -402,6 +460,18 @@ impl<'a> InductiveServer<'a> {
             return Ok(DMat::zeros(0, self.model.out_dim()));
         }
 
+        // A prefix-width batch (built before the base grew) is widened to
+        // the current index space — pure metadata, entries untouched — so
+        // every downstream operator sees consistent block shapes. The
+        // mapping conversion indexes rows by column value and needs no
+        // widening; the direct paths (Eq. 3 serving, original-graph
+        // degradation) do.
+        let inc_batch: Cow<'_, Csr> = if batch.incremental.cols() < self.expected_inc_cols() {
+            Cow::Owned(batch.incremental.widen_cols(self.expected_inc_cols()))
+        } else {
+            Cow::Borrowed(&batch.incremental)
+        };
+
         // Attachment rows and per-node mapping coverage. The batch's own
         // incremental rows are borrowed — only the mapping conversion (and
         // a firing `clear_rows` fallback) materialises a new matrix.
@@ -411,7 +481,7 @@ impl<'a> InductiveServer<'a> {
                 let cov: Vec<f32> = (0..batch.len())
                     .map(|i| if batch.incremental.row_cols(i).is_empty() { 0.0 } else { 1.0 })
                     .collect();
-                (Cow::Borrowed(&batch.incremental), cov)
+                (Cow::Borrowed(inc_batch.as_ref()), cov)
             }
             Some(mapping) => {
                 let am = crate::inference::spmm_sparse(&batch.incremental, mapping);
@@ -481,7 +551,7 @@ impl<'a> InductiveServer<'a> {
         let (base_adj, base_features, base_deg, inc): (&Csr, &DMat, &BaseDegrees, &Csr) =
             if use_original {
                 let original = self.original.as_ref().expect("checked above");
-                (&original.adj, original.features, &original.deg, &batch.incremental)
+                (&original.adj, original.features, &original.deg, inc_batch.as_ref())
             } else {
                 (&self.base_adj, self.base_features, &self.base_deg, inc.as_ref())
             };
@@ -503,9 +573,19 @@ impl<'a> InductiveServer<'a> {
                 self.model.predict_split(&ops, base_features, &batch.features)
             }
             ServeMode::FrozenBase if !use_original => {
+                let frozen = self.frozen.as_ref().expect("cache built by with_serve_mode");
+                if frozen.base_version() != self.base_version {
+                    // A delta promotion mutated the base without patching
+                    // or rebuilding the cache: its activations describe a
+                    // graph that no longer exists. Refuse rather than
+                    // answer with silently wrong logits.
+                    return Err(ServeError::StaleCache {
+                        cache_version: frozen.base_version(),
+                        base_version: self.base_version,
+                    });
+                }
                 bytes_saved = feature_bytes(base_features);
                 cache_hit = true;
-                let frozen = self.frozen.as_ref().expect("cache built by with_serve_mode");
                 self.model.predict_frozen(frozen, inc, inter, &batch.features)
             }
             ServeMode::FrozenBase => {
@@ -1049,5 +1129,70 @@ mod tests {
                 .expect("isolated serve")
         };
         assert_eq!(pruned.as_slice(), isolated.as_slice());
+    }
+
+    /// A frozen cache whose version stamp trails the live base is refused
+    /// with a typed error — stale-cache serving must be impossible.
+    #[test]
+    fn stale_frozen_cache_is_refused_not_served() {
+        let (data, syn, mapping, model) = fallback_fixture();
+        let batch = data.batch(&[4, 5], true);
+
+        // Version in sync (both 0 by default): the cache answers.
+        let fresh = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_serve_mode(ServeMode::FrozenBase);
+        assert!(fresh.try_serve(&batch).is_ok(), "in-sync cache serves");
+
+        // The base moved on (a delta promotion bumped its version) but the
+        // cache kept its old stamp: typed refusal, not wrong logits.
+        let stale = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_serve_mode(ServeMode::FrozenBase)
+            .with_base_version(3);
+        match stale.try_serve(&batch) {
+            Err(ServeError::StaleCache { cache_version: 0, base_version: 3 }) => {}
+            other => panic!("expected StaleCache, got {other:?}"),
+        }
+
+        // Re-stamping the cache (what a patch does) restores service, and
+        // the exact modes never consult the stamp.
+        let frozen = mcond_gnn::FrozenBase::new(&model, &syn.adj, &syn.features).with_version(3);
+        let patched = InductiveServer::on_synthetic(&syn, &mapping, &model)
+            .with_base_version(3)
+            .with_frozen_cache(frozen);
+        assert!(patched.try_serve(&batch).is_ok(), "re-stamped cache serves");
+        let exact = InductiveServer::on_synthetic(&syn, &mapping, &model).with_base_version(3);
+        assert!(exact.try_serve(&batch).is_ok(), "exact path ignores the stamp");
+    }
+
+    /// A batch built against a narrower (pre-promotion) base is served —
+    /// its columns address a prefix of the grown index space — and its
+    /// logits match the same batch widened by hand.
+    #[test]
+    fn prefix_width_batch_is_served_after_base_growth() {
+        let (data, syn, mapping, model) = fallback_fixture();
+        let batch = data.batch(&[4, 5], true);
+        // Grow the mapping by one (promoted) row: 4 rows over 2 synthetic
+        // nodes. The old 3-wide batch must still be answerable.
+        let mut grown = Coo::new(4, 2);
+        for (i, j, v) in mapping.iter() {
+            grown.push(i, j, v);
+        }
+        grown.push(3, 1, 1.0);
+        let grown = grown.to_csr();
+        let server = InductiveServer::on_synthetic(&syn, &grown, &model);
+        let narrow = server.try_serve(&batch).expect("prefix batch serves");
+        let widened = {
+            let mut b = batch.clone();
+            b.incremental = b.incremental.widen_cols(4);
+            server.try_serve(&b).expect("widened batch serves")
+        };
+        assert_eq!(narrow.as_slice(), widened.as_slice());
+        // Wider than the base still fails validation.
+        let mut too_wide = batch.clone();
+        too_wide.incremental = too_wide.incremental.widen_cols(9);
+        assert!(matches!(
+            server.try_serve(&too_wide),
+            Err(ServeError::InvalidBatch(mcond_graph::BatchError::IncrementalWidth { .. }))
+        ));
     }
 }

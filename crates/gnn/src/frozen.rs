@@ -31,13 +31,24 @@
 use crate::model::{GnnKind, GnnModel, GraphOps};
 use crate::propagator::BaseDegrees;
 use mcond_linalg::DMat;
-use mcond_sparse::Csr;
+use mcond_sparse::{Coo, Csr};
 
 /// Per-layer base activations frozen under base-only normalisation.
 ///
 /// Built once per `(model, base graph)` pair via [`FrozenBase::new`];
 /// served via [`GnnModel::predict_frozen`]. Immutable and `Sync` — one
 /// cache can serve concurrent requests.
+///
+/// The cache is stamped with the **base version** it was built from
+/// ([`FrozenBase::base_version`], [`FrozenBase::with_version`]): a live
+/// base graph that admits delta promotions bumps its version on every
+/// mutation, and the serving layer refuses to answer from a cache whose
+/// stamp trails the base (`ServeError::StaleCache` in `mcond-core`)
+/// instead of emitting silently wrong logits. When a promotion's
+/// receptive field is small, [`FrozenBase::try_patch`] recomputes only
+/// the affected rows — bitwise identical to a full rebuild — and
+/// re-stamps the cache.
+#[derive(Clone)]
 pub struct FrozenBase {
     kind: GnnKind,
     hops: usize,
@@ -46,6 +57,14 @@ pub struct FrozenBase {
     /// Cached base-side operands, one per propagation site in forward
     /// order. Symmetric sites are pre-scaled by the frozen base scale.
     sites: Vec<DMat>,
+    /// Unscaled intermediates the patch path replays the propagation
+    /// chain from: `raws[k]` is the pre-scale operand behind `sites[k]`
+    /// for the chain architectures (SGC/APPNP hop intermediates, GCN's
+    /// `XW`). Empty for SAGE/Cheby, whose sites are recomputable from the
+    /// base features alone.
+    raws: Vec<DMat>,
+    /// Version of the base graph the cache reflects (0 for a static base).
+    base_version: u64,
 }
 
 impl FrozenBase {
@@ -71,11 +90,13 @@ impl FrozenBase {
             .collect();
         let p = model.params();
         let mut sites = Vec::new();
+        let mut raws = Vec::new();
         match model.kind() {
             GnnKind::Sgc => {
                 let mut h = base_x.clone();
                 for _ in 0..model.hops {
                     sites.push(h.scale_rows(&sb));
+                    raws.push(h.clone());
                     h = ops.sym.spmm(&h);
                 }
             }
@@ -84,6 +105,7 @@ impl FrozenBase {
                 sites.push(xw.scale_rows(&sb));
                 let h = ops.sym.spmm(&xw).add_row_broadcast(p[1].row(0)).relu();
                 sites.push(h.matmul(&p[2]).scale_rows(&sb));
+                raws.push(xw);
             }
             GnnKind::Sage => {
                 sites.push(base_x.clone());
@@ -105,6 +127,7 @@ impl FrozenBase {
                 let mut z = h0;
                 for _ in 0..model.hops {
                     sites.push(z.scale_rows(&sb));
+                    raws.push(z.clone());
                     z = ops.sym.spmm(&z).scale(1.0 - model.alpha).add(&teleport);
                 }
             }
@@ -125,7 +148,24 @@ impl FrozenBase {
             n_base: base_adj.rows(),
             in_dim: base_x.cols(),
             sites,
+            raws,
+            base_version: 0,
         }
+    }
+
+    /// Stamps the cache with the base version it reflects; the serving
+    /// layer compares this against the live base's version before
+    /// answering from the cache.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.base_version = version;
+        self
+    }
+
+    /// The base version this cache was built (or last patched) against.
+    #[must_use]
+    pub fn base_version(&self) -> u64 {
+        self.base_version
     }
 
     /// Architecture the cache was frozen for.
@@ -146,11 +186,270 @@ impl FrozenBase {
         self.n_base
     }
 
-    /// Payload size of the cached activations, in bytes.
+    /// Payload size of the cached activations (sites and unscaled patch
+    /// intermediates), in bytes.
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.sites.iter().map(|s| s.rows() * s.cols() * core::mem::size_of::<f32>()).sum()
+        self.sites
+            .iter()
+            .chain(self.raws.iter())
+            .map(|s| s.rows() * s.cols() * core::mem::size_of::<f32>())
+            .sum()
     }
+
+    /// Number of propagation (SpMM) applications feeding the deepest
+    /// cached site — the BFS depth a promotion's receptive field must be
+    /// closed to before patching.
+    fn chain_depth(&self) -> usize {
+        match self.kind {
+            GnnKind::Sgc | GnnKind::Appnp => self.hops.saturating_sub(1),
+            GnnKind::Gcn | GnnKind::Sage | GnnKind::Cheby => 1,
+        }
+    }
+
+    /// Incrementally re-freezes the cache after the base graph grew:
+    /// `new_adj`/`new_x` are the mutated base (old nodes keep their ids;
+    /// appended nodes take the highest ids), `deg` its degree sums, and
+    /// `touched` the **old** rows that gained edges in the mutation
+    /// (appended rows are included automatically). Only rows inside the
+    /// hop-closure of the mutation are recomputed; every recomputed value
+    /// is **bitwise identical** to a from-scratch
+    /// [`FrozenBase::new`] over the mutated base (the kernels' row
+    /// independence contract). The returned cache is stamped with
+    /// `new_version`.
+    ///
+    /// Returns `None` when the closure exceeds `max_rows` — the signal
+    /// that a full rebuild is cheaper than the patch.
+    ///
+    /// # Panics
+    /// Panics when `model` does not match the architecture/depth this
+    /// cache was frozen for, when the new base shrank or its shapes are
+    /// inconsistent, or when `touched`/`deg` disagree with `new_adj`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_patch(
+        &self,
+        model: &GnnModel,
+        new_adj: &Csr,
+        new_x: &DMat,
+        deg: &BaseDegrees,
+        touched: &[usize],
+        max_rows: usize,
+        new_version: u64,
+    ) -> Option<FrozenBase> {
+        assert_eq!(self.kind, model.kind(), "try_patch: architecture mismatch");
+        assert_eq!(self.hops, model.hops, "try_patch: propagation depth mismatch");
+        assert_eq!(new_adj.rows(), new_adj.cols(), "try_patch: base must be square");
+        assert_eq!(new_x.rows(), new_adj.rows(), "try_patch: feature rows mismatch");
+        assert_eq!(new_x.cols(), self.in_dim, "try_patch: feature width mismatch");
+        assert_eq!(deg.sym.len(), new_adj.rows(), "try_patch: degree length mismatch");
+        let n_old = self.n_base;
+        let n_new = new_adj.rows();
+        assert!(n_new >= n_old, "try_patch: base shrank ({n_old} -> {n_new})");
+
+        // Hop-closure of the mutation: seeds are the appended rows plus
+        // every old row whose degree (and therefore sym scale) changed;
+        // each SpMM in the chain widens the affected set by one hop.
+        let mut in_set = vec![false; n_new];
+        let mut rows: Vec<usize> = Vec::new();
+        for s in touched.iter().copied().chain(n_old..n_new) {
+            assert!(s < n_new, "try_patch: touched row {s} out of bounds");
+            if !in_set[s] {
+                in_set[s] = true;
+                rows.push(s);
+            }
+        }
+        let mut frontier = rows.clone();
+        for _ in 0..self.chain_depth() {
+            if rows.len() > max_rows {
+                return None;
+            }
+            let mut next = Vec::new();
+            for &r in &frontier {
+                for &c in new_adj.row_cols(r) {
+                    let c = c as usize;
+                    if !in_set[c] {
+                        in_set[c] = true;
+                        next.push(c);
+                        rows.push(c);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        if rows.len() > max_rows {
+            return None;
+        }
+        rows.sort_unstable();
+
+        // Frozen symmetric scale of the mutated base, full vector plus the
+        // closure-row gather — same expression as the from-scratch build.
+        let sb_full: Vec<f32> =
+            deg.sym.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let sb_r: Vec<f32> = rows.iter().map(|&r| sb_full[r]).collect();
+        let p = model.params();
+        let mut sites = Vec::with_capacity(self.sites.len());
+        let mut raws = Vec::with_capacity(self.raws.len());
+        match self.kind {
+            GnnKind::Sgc => {
+                let lsym = local_sym_rows(new_adj, &sb_full, &rows);
+                for k in 0..self.hops {
+                    let hk_rows = if k == 0 {
+                        new_x.select_rows(&rows)
+                    } else {
+                        lsym.spmm(&raws[k - 1])
+                    };
+                    sites.push(widen_scatter(
+                        &self.sites[k],
+                        n_new,
+                        &rows,
+                        &hk_rows.scale_rows(&sb_r),
+                    ));
+                    raws.push(widen_scatter(&self.raws[k], n_new, &rows, &hk_rows));
+                }
+            }
+            GnnKind::Gcn => {
+                let lsym = local_sym_rows(new_adj, &sb_full, &rows);
+                let xw_rows = new_x.select_rows(&rows).matmul(&p[0]);
+                let raw_xw = widen_scatter(&self.raws[0], n_new, &rows, &xw_rows);
+                sites.push(widen_scatter(
+                    &self.sites[0],
+                    n_new,
+                    &rows,
+                    &xw_rows.scale_rows(&sb_r),
+                ));
+                let h_rows = lsym.spmm(&raw_xw).add_row_broadcast(p[1].row(0)).relu();
+                sites.push(widen_scatter(
+                    &self.sites[1],
+                    n_new,
+                    &rows,
+                    &h_rows.matmul(&p[2]).scale_rows(&sb_r),
+                ));
+                raws.push(raw_xw);
+            }
+            GnnKind::Sage => {
+                let lmean = local_mean_rows(new_adj, &rows);
+                sites.push(new_x.clone());
+                let h_rows = new_x
+                    .select_rows(&rows)
+                    .matmul(&p[0])
+                    .add(&lmean.spmm(new_x).matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                sites.push(widen_scatter(&self.sites[1], n_new, &rows, &h_rows));
+            }
+            GnnKind::Appnp => {
+                let lsym = local_sym_rows(new_adj, &sb_full, &rows);
+                let mut tele_rows = DMat::zeros(0, 0);
+                for k in 0..self.hops {
+                    let zk_rows = if k == 0 {
+                        let z0 = new_x
+                            .select_rows(&rows)
+                            .matmul(&p[0])
+                            .add_row_broadcast(p[1].row(0))
+                            .relu()
+                            .matmul(&p[2])
+                            .add_row_broadcast(p[3].row(0));
+                        tele_rows = z0.scale(model.alpha);
+                        z0
+                    } else {
+                        lsym.spmm(&raws[k - 1]).scale(1.0 - model.alpha).add(&tele_rows)
+                    };
+                    sites.push(widen_scatter(
+                        &self.sites[k],
+                        n_new,
+                        &rows,
+                        &zk_rows.scale_rows(&sb_r),
+                    ));
+                    raws.push(widen_scatter(&self.raws[k], n_new, &rows, &zk_rows));
+                }
+            }
+            GnnKind::Cheby => {
+                let lsym = local_sym_rows(new_adj, &sb_full, &rows);
+                let x_rows = new_x.select_rows(&rows);
+                sites.push(widen_scatter(
+                    &self.sites[0],
+                    n_new,
+                    &rows,
+                    &x_rows.scale_rows(&sb_r),
+                ));
+                let t1_rows = lsym.spmm(new_x).scale(-1.0);
+                let h_rows = x_rows
+                    .matmul(&p[0])
+                    .add(&t1_rows.matmul(&p[1]))
+                    .add_row_broadcast(p[2].row(0))
+                    .relu();
+                sites.push(widen_scatter(
+                    &self.sites[1],
+                    n_new,
+                    &rows,
+                    &h_rows.scale_rows(&sb_r),
+                ));
+            }
+        }
+        Some(FrozenBase {
+            kind: self.kind,
+            hops: self.hops,
+            n_base: n_new,
+            in_dim: self.in_dim,
+            sites,
+            raws,
+            base_version: new_version,
+        })
+    }
+}
+
+/// The closure rows of the symmetrically normalised base operator
+/// `D̃^{-1/2}(A + I)D̃^{-1/2}`, as a `|rows| x N` CSR. Entry construction
+/// mirrors `sym_normalize` exactly (adjacency entries first, diagonal
+/// last, same multiply association) so each local row is bitwise
+/// identical to the corresponding row of the full operator.
+fn local_sym_rows(adj: &Csr, isr: &[f32], rows: &[usize]) -> Csr {
+    let nnz: usize = rows.iter().map(|&r| adj.row_cols(r).len()).sum();
+    let mut coo = Coo::with_capacity(rows.len(), adj.cols(), nnz + rows.len());
+    for (li, &r) in rows.iter().enumerate() {
+        for (&j, &v) in adj.row_cols(r).iter().zip(adj.row_vals(r)) {
+            coo.push(li, j as usize, v * isr[r] * isr[j as usize]);
+        }
+    }
+    for (li, &r) in rows.iter().enumerate() {
+        coo.push(li, r, isr[r] * isr[r]);
+    }
+    coo.to_csr()
+}
+
+/// The closure rows of the mean (row-stochastic) base operator `D^{-1}A`,
+/// mirroring `GraphOps::from_adj` (rows with non-positive mass stay
+/// empty, same divide per entry).
+fn local_mean_rows(adj: &Csr, rows: &[usize]) -> Csr {
+    let nnz: usize = rows.iter().map(|&r| adj.row_cols(r).len()).sum();
+    let mut coo = Coo::with_capacity(rows.len(), adj.cols(), nnz);
+    for (li, &r) in rows.iter().enumerate() {
+        let d: f32 = adj.row_vals(r).iter().sum();
+        if d > 0.0 {
+            for (&j, &v) in adj.row_cols(r).iter().zip(adj.row_vals(r)) {
+                coo.push(li, j as usize, v / d);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Widens `old` to `n_rows` rows (appended rows zero-filled) and
+/// overwrites row `rows[k]` with `patch` row `k`.
+fn widen_scatter(old: &DMat, n_rows: usize, rows: &[usize], patch: &DMat) -> DMat {
+    debug_assert_eq!(patch.rows(), rows.len());
+    let mut out = DMat::zeros(n_rows, old.cols());
+    for i in 0..old.rows() {
+        out.row_mut(i).copy_from_slice(old.row(i));
+    }
+    for (k, &r) in rows.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(patch.row(k));
+    }
+    out
 }
 
 /// New-row output of one frozen **symmetric** site:
@@ -360,6 +659,58 @@ mod tests {
                 .fold(0.0, f32::max);
             assert!(dev < 5.0, "{}: max deviation {dev}", kind.name());
         }
+    }
+
+    /// Growing the base (two appended nodes attached to rows 1 and 3)
+    /// and patching must reproduce a from-scratch rebuild **bitwise** at
+    /// every site and raw level, for every architecture.
+    #[test]
+    fn patched_cache_is_bitwise_identical_to_rebuild() {
+        let (base, base_x) = fixture();
+        // Appended nodes 5 and 6: 5-1 (w 2.0), 6-3 (w 1.0), 5-6 (w 0.5).
+        let mut b = Coo::new(2, 5);
+        b.push(0, 1, 2.0);
+        b.push(1, 3, 1.0);
+        let mut inter = Coo::new(2, 2);
+        inter.push_sym(0, 1, 0.5);
+        let new_adj = base.block_extend(&b.to_csr(), &inter.to_csr());
+        let new_x = base_x.vstack(&MatRng::seed_from(17).normal(2, 4, 0.0, 1.0));
+        let deg = BaseDegrees::of(&new_adj);
+        let touched = [1usize, 3];
+        for kind in GnnKind::ALL {
+            let model = GnnModel::new(kind, 4, 6, 3, 23);
+            let frozen = FrozenBase::new(&model, &base, &base_x);
+            let patched = frozen
+                .try_patch(&model, &new_adj, &new_x, &deg, &touched, usize::MAX, 7)
+                .expect("closure fits");
+            let rebuilt = FrozenBase::new(&model, &new_adj, &new_x);
+            assert_eq!(patched.base_version(), 7, "{}", kind.name());
+            assert_eq!(patched.n_base(), 7, "{}", kind.name());
+            assert_eq!(patched.sites.len(), rebuilt.sites.len(), "{}", kind.name());
+            for (k, (a, b)) in patched.sites.iter().zip(&rebuilt.sites).enumerate() {
+                assert_eq!(a.shape(), b.shape(), "{} site {k}", kind.name());
+                assert_eq!(a.as_slice(), b.as_slice(), "{} site {k} not bitwise", kind.name());
+            }
+            assert_eq!(patched.raws.len(), rebuilt.raws.len(), "{}", kind.name());
+            for (k, (a, b)) in patched.raws.iter().zip(&rebuilt.raws).enumerate() {
+                assert_eq!(a.as_slice(), b.as_slice(), "{} raw {k} not bitwise", kind.name());
+            }
+        }
+    }
+
+    /// A closure larger than the row budget refuses to patch (the caller
+    /// falls back to a full rebuild).
+    #[test]
+    fn oversized_closure_declines_to_patch() {
+        let (base, base_x) = fixture();
+        let mut b = Coo::new(1, 5);
+        b.push(0, 0, 1.0);
+        let new_adj = base.block_extend(&b.to_csr(), &Csr::empty(1, 1));
+        let new_x = base_x.vstack(&MatRng::seed_from(18).normal(1, 4, 0.0, 1.0));
+        let deg = BaseDegrees::of(&new_adj);
+        let model = GnnModel::new(GnnKind::Gcn, 4, 6, 3, 24);
+        let frozen = FrozenBase::new(&model, &base, &base_x);
+        assert!(frozen.try_patch(&model, &new_adj, &new_x, &deg, &[0], 1, 1).is_none());
     }
 
     #[test]

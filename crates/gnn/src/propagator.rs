@@ -72,6 +72,49 @@ impl BaseDegrees {
         }
         Self { sym, mean }
     }
+
+    /// Folds a promotion's edge mass into the degree sums **in place**,
+    /// in `O(nnz(attach) + nnz(inter))` instead of re-summing the whole
+    /// base: `attach` is the `n x N` bottom-left block being appended to
+    /// the base (its mirror extends the old rows) and `inter` the `n x n`
+    /// block among the appended nodes.
+    ///
+    /// Because `Csr::block_extend` appends the mirrored columns *after*
+    /// each old row's existing entries and the new rows' entries in
+    /// `attach`-then-`inter` slice order, this accumulation visits values
+    /// in exactly the order [`BaseDegrees::of`] would on the extended
+    /// matrix — the update is **bitwise identical** to a from-scratch
+    /// recompute.
+    ///
+    /// # Panics
+    /// Panics when the block shapes disagree with the current base size.
+    pub fn extend_for_promotion(&mut self, attach: &Csr, inter: &Csr) {
+        let n_old = self.sym.len();
+        assert_eq!(attach.cols(), n_old, "extend_for_promotion: attach columns");
+        assert_eq!(inter.rows(), attach.rows(), "extend_for_promotion: inter rows");
+        assert_eq!(inter.cols(), attach.rows(), "extend_for_promotion: inter must be square");
+        // Old rows: the mirrored top-right entries, visited in the same
+        // (ascending new-row) order block_extend appends their columns.
+        for (_, j, v) in attach.iter() {
+            self.sym[j] += v;
+            self.mean[j] += v;
+        }
+        // New rows: attach mass first, then interconnect mass.
+        for i in 0..attach.rows() {
+            let mut s = 1.0f32;
+            let mut m = 0.0f32;
+            for &v in attach.row_vals(i) {
+                s += v;
+                m += v;
+            }
+            for &v in inter.row_vals(i) {
+                s += v;
+                m += v;
+            }
+            self.sym.push(s);
+            self.mean.push(m);
+        }
+    }
 }
 
 /// The lazy extension payload: borrowed base graph + incremental blocks +
@@ -451,6 +494,27 @@ mod tests {
                 }
             });
         }
+    }
+
+    /// Two stacked promotions folded in incrementally must agree
+    /// **bitwise** with a from-scratch accumulation over the final
+    /// extended matrix.
+    #[test]
+    fn incremental_degrees_match_from_scratch_bitwise() {
+        let (base, inc, inter) = blocks();
+        let mut deg = BaseDegrees::of(&base);
+        deg.extend_for_promotion(&inc, &inter);
+        let grown = base.block_extend(&inc, &inter);
+        // Second wave: one node attached to old row 1 and promoted row 4.
+        let mut inc2 = Coo::new(1, 6);
+        inc2.push(0, 1, 0.5);
+        inc2.push(0, 4, 1.5);
+        let inc2 = inc2.to_csr();
+        let inter2 = Csr::empty(1, 1);
+        deg.extend_for_promotion(&inc2, &inter2);
+        let full = BaseDegrees::of(&grown.block_extend(&inc2, &inter2));
+        assert_eq!(deg.sym, full.sym);
+        assert_eq!(deg.mean, full.mean);
     }
 
     #[test]

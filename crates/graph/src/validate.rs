@@ -110,6 +110,35 @@ impl NodeBatch {
     /// # Errors
     /// The first [`BatchError`] detected, in the order above.
     pub fn validate_against(&self, base_cols: usize, feature_dim: usize) -> Result<(), BatchError> {
+        self.validate_impl(base_cols, feature_dim, false)
+    }
+
+    /// [`validate_against`](NodeBatch::validate_against) for a **live**
+    /// (growable) serving base: the incremental width may be *narrower*
+    /// than `base_cols`. Delta promotions only ever append base nodes —
+    /// existing ids never change meaning — so a batch assembled against an
+    /// older, smaller base still addresses a valid prefix of the grown
+    /// index space. A *wider* batch still fails with
+    /// [`BatchError::IncrementalWidth`]: it indexes nodes this base does
+    /// not have.
+    ///
+    /// # Errors
+    /// The first [`BatchError`] detected, in
+    /// [`validate_against`](NodeBatch::validate_against)'s order.
+    pub fn validate_against_prefix(
+        &self,
+        base_cols: usize,
+        feature_dim: usize,
+    ) -> Result<(), BatchError> {
+        self.validate_impl(base_cols, feature_dim, true)
+    }
+
+    fn validate_impl(
+        &self,
+        base_cols: usize,
+        feature_dim: usize,
+        allow_prefix: bool,
+    ) -> Result<(), BatchError> {
         let n = self.labels.len();
         if self.features.rows() != n {
             return Err(BatchError::RowCountMismatch {
@@ -132,7 +161,12 @@ impl NodeBatch {
                 expected: n,
             });
         }
-        if self.incremental.cols() != base_cols {
+        let width_ok = if allow_prefix {
+            self.incremental.cols() <= base_cols
+        } else {
+            self.incremental.cols() == base_cols
+        };
+        if !width_ok {
             return Err(BatchError::IncrementalWidth {
                 got: self.incremental.cols(),
                 expected: base_cols,
@@ -232,6 +266,21 @@ mod tests {
         let err = b.validate_against(7, 2).unwrap_err();
         assert_eq!(err, BatchError::IncrementalWidth { got: 3, expected: 7 });
         assert!(err.to_string().contains("different base graph"));
+    }
+
+    #[test]
+    fn prefix_validation_accepts_narrower_but_not_wider_batches() {
+        let b = valid(); // incremental is 2x3
+        // Against a base that has since grown to 7 nodes: prefix-valid.
+        assert_eq!(b.validate_against_prefix(7, 2), Ok(()));
+        // Exact width still passes, and the strict form still rejects.
+        assert_eq!(b.validate_against_prefix(3, 2), Ok(()));
+        assert!(b.validate_against(7, 2).is_err());
+        // Wider than the base: indexes nodes that do not exist.
+        assert_eq!(
+            b.validate_against_prefix(2, 2),
+            Err(BatchError::IncrementalWidth { got: 3, expected: 2 })
+        );
     }
 
     #[test]

@@ -65,6 +65,23 @@
 //!   `ServeMode::Extended`; the `fastpath_equivalence` test asserts it
 //!   equals `requests × N'×d×4` on the fast path.
 //!
+//! The live-graph ingestion path (`mcond-core`'s `LiveBase`) reports its
+//! promotion and refresh activity under the `delta.*` prefix, and how it
+//! kept the frozen-base cache coherent under `serve.cache.patch.*`:
+//!
+//! * `delta.promotions` — promotion calls that grew the base;
+//! * `delta.promoted_nodes` — nodes promoted into the base (a promotion
+//!   may carry several);
+//! * `delta.edges` — attachment + interconnect edges absorbed by
+//!   promotions;
+//! * `delta.refreshes` — incremental refreshes (Eq. 12–15 re-run + log
+//!   replay);
+//! * `delta.refresh.ms` — histogram: wall milliseconds per refresh;
+//! * `serve.cache.patch.patched` — promotions whose frozen-base cache was
+//!   patched in place (receptive-field closure fit the patch budget);
+//! * `serve.cache.patch.rebuilt` — promotions that fell back to a full
+//!   cache rebuild (closure exceeded the patch budget).
+//!
 //! The serving stage timers decompose every request's latency into the
 //! paper's Eq. 11 pipeline, one histogram per stage (µs), recorded by
 //! `span_timed` under the `serve` span:

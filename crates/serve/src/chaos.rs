@@ -85,6 +85,17 @@ pub fn protocol_corpus(
         "{{\"feature_dim\": {feature_dim}, \"features\": [], \
          \"incremental\": {{\"cols\": {inc_cols}, \"entries\": []}}}}"
     );
+    // The same valid batch, but with a deadline budget near u64::MAX
+    // milliseconds. Naive `Instant + Duration` arithmetic on such a budget
+    // can overflow the platform clock's representable range and panic the
+    // connection thread; the server must refuse the budget with a clean
+    // 400 instead.
+    let huge_deadline = format!(
+        "POST /v1/serve HTTP/1.1\r\nx-mcond-deadline-ms: 18000000000000000000\r\n\
+         content-length: {}\r\n\r\n{}",
+        split_body.len(),
+        split_body
+    );
     let half = split_body.len() / 2;
     let split_writes = vec![
         req("POST /v1/serve HTTP"),
@@ -213,6 +224,11 @@ pub fn protocol_corpus(
             name: "get_on_serve_endpoint",
             writes: vec![req("GET /v1/serve HTTP/1.1\r\n\r\n")],
             expect: Expect::Statuses(&[405]),
+        },
+        ProtocolCase {
+            name: "huge_deadline_header",
+            writes: vec![ChaosWrite::Bytes(huge_deadline.into_bytes())],
+            expect: Expect::Statuses(&[400]),
         },
         ProtocolCase {
             name: "split_body_across_writes",

@@ -636,13 +636,20 @@ fn reload_endpoint(req: &Request, shared: &Arc<Shared>, cfg: &ServeConfig, close
     }
 }
 
+/// Upper bound on a client-supplied deadline budget: 24 hours. A budget
+/// above this is hostile or nonsensical — `Instant + huge Duration` can
+/// overflow the platform clock's representable range and panic inside the
+/// connection thread — so the request is rejected at parse time instead.
+const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// Parses the request's deadline budget: the `x-mcond-deadline-ms` header
-/// when present (must be a positive integer), else the configured
-/// default. `Err` means the header was malformed.
+/// when present (must be a positive integer no larger than
+/// [`MAX_DEADLINE_MS`]), else the configured default. `Err` means the
+/// header was malformed or out of range.
 fn request_budget(req: &Request, cfg: &ServeConfig) -> Result<Option<Duration>, ()> {
     match req.header("x-mcond-deadline-ms") {
         Some(raw) => match raw.trim().parse::<u64>() {
-            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            Ok(ms) if ms > 0 && ms <= MAX_DEADLINE_MS => Ok(Some(Duration::from_millis(ms))),
             _ => Err(()),
         },
         None => Ok(cfg.default_deadline),
@@ -675,7 +682,10 @@ fn serve_endpoint(req: &Request, shared: &Arc<Shared>, cfg: &ServeConfig, close:
     };
     let Ok(budget) = request_budget(req, cfg) else {
         mcond_obs::counter_add("serve.http.bad_requests", 1);
-        let body = error_body("bad_deadline", "x-mcond-deadline-ms must be a positive integer");
+        let body = error_body(
+            "bad_deadline",
+            "x-mcond-deadline-ms must be a positive integer no larger than 86400000 (24h)",
+        );
         return Routed::plain(write_response(400, &[epoch_hdr(current)], body.as_bytes(), close));
     };
 
@@ -693,7 +703,10 @@ fn serve_endpoint(req: &Request, shared: &Arc<Shared>, cfg: &ServeConfig, close:
     let job = Job {
         batch,
         enqueued,
-        deadline: budget.map(|b| enqueued + b),
+        // checked_add: a configured default_deadline is not range-checked
+        // like the header is, and Instant arithmetic panics on overflow.
+        // An unrepresentable deadline degrades to "no deadline".
+        deadline: budget.and_then(|b| enqueued.checked_add(b)),
         budget,
         reply: reply_tx,
     };
@@ -793,6 +806,7 @@ fn method_not_allowed(allow: &str, close: bool) -> Vec<u8> {
 /// | `Panicked` | 500 |
 /// | `DeadlineExceeded` | 503 |
 /// | `Aborted` | 503 |
+/// | `StaleCache` | 503 |
 #[must_use]
 pub fn serve_error_status(e: &ServeError) -> (u16, &'static str) {
     match e {
@@ -804,6 +818,9 @@ pub fn serve_error_status(e: &ServeError) -> (u16, &'static str) {
         ServeError::Panicked { .. } => (500, "panicked"),
         ServeError::DeadlineExceeded { .. } => (503, "deadline_exceeded"),
         ServeError::Aborted { .. } => (503, "aborted"),
+        // Retryable: the operator is expected to patch/rebuild the cache
+        // (or hot-swap a refreshed checkpoint) shortly.
+        ServeError::StaleCache { .. } => (503, "stale_cache"),
     }
 }
 
@@ -838,6 +855,11 @@ mod tests {
                 "deadline_exceeded",
             ),
             (ServeError::Aborted { reason: "watchdog" }, 503, "aborted"),
+            (
+                ServeError::StaleCache { cache_version: 1, base_version: 2 },
+                503,
+                "stale_cache",
+            ),
         ];
         for (e, status, kind) in cases {
             assert_eq!(serve_error_status(&e), (status, kind), "{e}");

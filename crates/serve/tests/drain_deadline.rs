@@ -151,7 +151,9 @@ fn default_deadline_applies_and_malformed_header_is_400() {
 
     // Malformed budgets never reach the queue.
     let mut client = Client::connect(addr, Duration::from_secs(5)).unwrap();
-    for bad in ["0", "-5", "soon", ""] {
+    // "18000000000000000000" parses as u64 but would overflow Instant
+    // arithmetic; "86400001" is one past the 24h cap.
+    for bad in ["0", "-5", "soon", "", "18000000000000000000", "86400001"] {
         let resp = client
             .request_with("POST", "/v1/serve", &[("x-mcond-deadline-ms", bad)], body.as_bytes())
             .expect("request");

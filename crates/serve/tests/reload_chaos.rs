@@ -7,9 +7,11 @@
 mod common;
 
 use common::counter;
-use mcond_core::InductiveServer;
+use mcond_core::{GraphDelta, InductiveServer, LiveBase};
 use mcond_graph::NodeBatch;
+use mcond_linalg::MatRng;
 use mcond_serve::{boot_slot, spawn, Client, PostError, ServeConfig};
+use mcond_sparse::{Coo, Csr};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,6 +113,95 @@ fn hundred_reloads_under_load_serve_only_200s_with_epoch_true_answers() {
     handle.shutdown();
     std::fs::remove_file(path_a).ok();
     std::fs::remove_file(path_b).ok();
+}
+
+/// The live-graph loop under traffic: 100 cycles of promote-one-node →
+/// lineage-stamped checkpoint → hot swap, while four closed-loop clients
+/// hammer `/v1/serve` with an *original-width* probe batch. Zero non-200s
+/// — prefix validation keeps old clients serveable against every grown
+/// epoch — and each successful swap advances exactly one epoch.
+#[test]
+fn interleaved_promotions_and_hot_swaps_serve_only_200s() {
+    const CYCLES: usize = 100;
+    let ckpt0 = common::toy_checkpoint(41);
+    let model = ckpt0.model.clone();
+    let mut live = LiveBase::synthetic(ckpt0.synthetic.clone(), ckpt0.mapping.clone());
+    let path = std::env::temp_dir().join(format!(
+        "mcond_serve_interleave_{}.mcst",
+        std::process::id()
+    ));
+    ckpt0.save(&path).expect("save boot checkpoint");
+
+    let slot = boot_slot(&path).expect("boot from checkpoint");
+    let handle = spawn(slot, ServeConfig::default()).expect("spawn front end");
+    let addr = handle.addr();
+    let batch = probe_batch();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let batch = batch.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(addr, Duration::from_secs(30)).expect("connect");
+                let mut served = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    client.post_batch_tagged(&batch).unwrap_or_else(|e| {
+                        panic!("client {t}: non-200 during promote/swap interleave: {e}")
+                    });
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut admin = Client::connect(addr, Duration::from_secs(30)).expect("admin connect");
+    for i in 1..=CYCLES {
+        // Promote one node, attached to a rotating original train node.
+        let width = live.inc_width();
+        let mut inc = Coo::new(1, width);
+        inc.push(0, i % common::INC_COLS, 1.0);
+        let delta = GraphDelta::new(NodeBatch {
+            features: MatRng::seed_from(1000 + i as u64).normal(
+                1,
+                common::FEATURE_DIM,
+                0.0,
+                1.0,
+            ),
+            incremental: inc.to_csr(),
+            interconnect: Csr::empty(1, 1),
+            labels: vec![i % 2],
+        });
+        let report = live.promote(&delta).unwrap_or_else(|e| panic!("promotion {i}: {e}"));
+        assert_eq!(report.version, i as u64);
+
+        // Emit the grown, lineage-stamped bundle and hot-swap it in.
+        live.checkpoint(&model)
+            .expect("live checkpoint")
+            .save(&path)
+            .expect("save grown checkpoint");
+        let resp = admin
+            .request("POST", "/v1/admin/reload", &reload_body(&path))
+            .expect("reload request");
+        assert_eq!(resp.status, 200, "swap {i} failed: {}", resp.text());
+    }
+    stop.store(true, Ordering::Release);
+
+    let total: usize = clients.into_iter().map(|c| c.join().expect("client panicked")).sum();
+    assert!(total > 0, "closed-loop clients must actually serve traffic");
+    assert_eq!(handle.epoch(), 1 + CYCLES as u64, "one epoch per promote/swap cycle");
+
+    // The final epoch serves the fully grown base and reports its lineage.
+    let (ckpt, _) = mcond_core::Checkpoint::load_for_serving(&path).expect("reload final");
+    let lineage = ckpt.lineage.expect("promoted checkpoints carry lineage");
+    assert_eq!(lineage.promotions, CYCLES as u64);
+    assert_eq!(lineage.promoted_nodes, CYCLES as u64);
+    assert_eq!(lineage.base_nodes, (2 + CYCLES) as u64);
+
+    handle.shutdown();
+    std::fs::remove_file(path).ok();
 }
 
 /// A storm of reloads pointing at a corrupt bundle: the first attempt is

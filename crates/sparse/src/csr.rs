@@ -285,6 +285,50 @@ impl Csr {
         Self::from_raw(rows, cols, vec![0; rows + 1], Vec::new(), Vec::new())
     }
 
+    /// The same matrix with its column space widened to `new_cols`
+    /// (entries untouched — the added columns are structurally empty).
+    /// Used when a sparse block built against an older, narrower index
+    /// space is replayed against a grown one: column ids are stable under
+    /// growth, so only the width metadata changes.
+    ///
+    /// # Panics
+    /// Panics when `new_cols` is smaller than the current column count.
+    #[must_use]
+    pub fn widen_cols(&self, new_cols: usize) -> Self {
+        assert!(
+            new_cols >= self.cols_n,
+            "widen_cols: cannot shrink {} columns to {new_cols}",
+            self.cols_n
+        );
+        Self { cols_n: new_cols, ..self.clone() }
+    }
+
+    /// Stacks `other`'s rows below this matrix's rows, **bitwise
+    /// preserving** both operands' row structure (no re-sort, no
+    /// duplicate merge, no zero drop — unlike a round-trip through
+    /// [`Coo::to_csr`](crate::Coo::to_csr)). Used when a live base
+    /// appends promoted rows to the mapping `M`: existing rows must not
+    /// be perturbed by the append.
+    ///
+    /// # Panics
+    /// Panics when the column counts disagree.
+    #[must_use]
+    pub fn append_rows(&self, other: &Csr) -> Self {
+        assert_eq!(
+            self.cols_n, other.cols_n,
+            "append_rows: column counts disagree ({} vs {})",
+            self.cols_n, other.cols_n
+        );
+        let mut indptr = self.indptr.clone();
+        let base_nnz = *indptr.last().expect("indptr is never empty");
+        indptr.extend(other.indptr[1..].iter().map(|&p| base_nnz + p));
+        let mut cols = self.cols.clone();
+        cols.extend_from_slice(&other.cols);
+        let mut vals = self.vals.clone();
+        vals.extend_from_slice(&other.vals);
+        Self::from_raw(self.rows + other.rows, self.cols_n, indptr, cols, vals)
+    }
+
     /// The sparse identity.
     #[must_use]
     pub fn eye(n: usize) -> Self {
@@ -778,6 +822,35 @@ mod tests {
         assert_eq!(s.get(0, 1), 3.0);
         assert_eq!(s.get(1, 1), 4.0);
         assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn append_rows_preserves_both_operands_bitwise() {
+        let top = small();
+        // Bottom rows carry an explicit zero and an unsorted-within-COO
+        // duplicate-free pattern; append must keep them verbatim where a
+        // Coo round-trip would drop/merge.
+        let bottom = Csr::from_raw(2, 3, vec![0, 2, 3], vec![2, 0, 1], vec![0.0, -1.5, 7.0]);
+        let stacked = top.append_rows(&bottom);
+        assert_eq!(stacked.rows(), 5);
+        assert_eq!(stacked.cols(), 3);
+        assert_eq!(stacked.nnz(), top.nnz() + bottom.nnz());
+        for i in 0..3 {
+            assert_eq!(stacked.row_cols(i), top.row_cols(i));
+            assert_eq!(stacked.row_vals(i), top.row_vals(i));
+        }
+        for i in 0..2 {
+            assert_eq!(stacked.row_cols(3 + i), bottom.row_cols(i));
+            assert_eq!(stacked.row_vals(3 + i), bottom.row_vals(i));
+        }
+        // Appending nothing is an identity, including on empty matrices.
+        assert!(top.append_rows(&Csr::empty(0, 3)).bit_eq(&top));
+    }
+
+    #[test]
+    #[should_panic(expected = "append_rows: column counts disagree")]
+    fn append_rows_rejects_width_mismatch() {
+        let _ = small().append_rows(&Csr::empty(1, 4));
     }
 
     #[test]

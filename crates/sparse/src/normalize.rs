@@ -89,12 +89,19 @@ pub fn row_normalize_dense(m: &DMat) -> DMat {
     out
 }
 
-/// Row (random-walk) renormalisation of a CSR matrix: rescales each
-/// non-empty row to sum to 1; empty rows stay empty (no NaNs). Used on the
-/// sparsified mapping `M`, whose rows leave Eq. 15 normalised but lose mass
-/// when thresholding (Eq. 14) drops small entries — renormalising restores
-/// the "distribution over synthetic nodes" semantics the inductive
-/// propagation `a M` relies on.
+/// Row (random-walk) renormalisation of a CSR matrix: rescales each row
+/// with a *positive, finite* sum to sum to 1; every other row — empty,
+/// cancelling, negative, or non-finite — passes through unchanged. Used on
+/// the sparsified mapping `M`, whose rows leave Eq. 15 normalised but lose
+/// mass when thresholding (Eq. 14) drops small entries — renormalising
+/// restores the "distribution over synthetic nodes" semantics the
+/// inductive propagation `a M` relies on.
+///
+/// Rescaling by a negative sum would flip every sign in the row, and a
+/// zero-cancelling or overflowed sum would emit ±Inf/NaN weights; both
+/// would be silently wrong attachment distributions, so such rows are left
+/// exactly as they arrived (downstream coverage accounting and the
+/// serving-layer finiteness audit decide what to do with them).
 #[must_use]
 pub fn renormalize_rows(m: &Csr) -> Csr {
     let mut indptr = Vec::with_capacity(m.rows() + 1);
@@ -104,7 +111,7 @@ pub fn renormalize_rows(m: &Csr) -> Csr {
     for i in 0..m.rows() {
         let s: f32 = m.row_vals(i).iter().sum();
         cols.extend_from_slice(m.row_cols(i));
-        if s != 0.0 {
+        if s > 0.0 && s.is_finite() {
             vals.extend(m.row_vals(i).iter().map(|&v| v / s));
         } else {
             vals.extend_from_slice(m.row_vals(i));
@@ -192,6 +199,36 @@ mod tests {
         assert!(approx_eq(r.get(2, 1), 1.0, 1e-6));
         // Structure untouched: same nnz, same columns.
         assert_eq!(r.nnz(), 3);
+    }
+
+    #[test]
+    fn renormalize_rows_guards_non_positive_and_non_finite_sums() {
+        // Row 0: cancelling sum (0.5 - 0.5 = 0) — dividing would emit ±Inf.
+        // Row 1: negative sum — dividing would flip every sign.
+        // Row 2: overflowing sum (f32::MAX + f32::MAX = +Inf) — dividing
+        //         would zero the row through Inf.
+        // Row 3: healthy positive row — still rescaled to a distribution.
+        let mut coo = Coo::new(4, 2);
+        coo.push(0, 0, 0.5);
+        coo.push(0, 1, -0.5);
+        coo.push(1, 0, -0.25);
+        coo.push(1, 1, -0.75);
+        coo.push(2, 0, f32::MAX);
+        coo.push(2, 1, f32::MAX);
+        coo.push(3, 0, 0.2);
+        coo.push(3, 1, 0.6);
+        let m = coo.to_csr();
+        let r = renormalize_rows(&m);
+        // Guarded rows pass through bitwise untouched.
+        for i in 0..3 {
+            assert_eq!(r.row_cols(i), m.row_cols(i), "row {i} columns changed");
+            assert_eq!(r.row_vals(i), m.row_vals(i), "row {i} values changed");
+        }
+        // The healthy row is still renormalised.
+        assert!(approx_eq(r.get(3, 0), 0.25, 1e-6));
+        assert!(approx_eq(r.get(3, 1), 0.75, 1e-6));
+        // Nothing in the output is non-finite — the whole point.
+        assert!(r.all_finite());
     }
 
     #[test]

@@ -74,8 +74,9 @@ pub mod prelude {
     pub use mcond_autodiff::{Adam, Tape, Var};
     pub use mcond_core::{
         attach_to_original, attach_to_synthetic, condense, coreset, infer_inductive, vng,
-        Checkpoint, Condensed, CoresetMethod, FallbackPolicy, InductiveServer, InferenceTarget,
-        McondConfig, ServeError, ServeMode,
+        CacheOutcome, Checkpoint, Condensed, CoresetMethod, DeltaError, DeltaLineage,
+        FallbackPolicy, GraphDelta, InductiveServer, InferenceTarget, LiveBase, McondConfig,
+        PromotionReport, ServeError, ServeMode,
     };
     pub use mcond_gnn::{
         accuracy, train, CostMeter, FrozenBase, GnnKind, GnnModel, GraphOps, TrainConfig,
